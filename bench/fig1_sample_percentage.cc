@@ -1,0 +1,69 @@
+// Reproduces Figure 1: downstream score and evaluation time as a function
+// of the sample percentage, averaged over repeats — scores saturate well
+// below 100% while time keeps growing, motivating sample compression.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/rng.h"
+#include "core/stats.h"
+#include "core/stopwatch.h"
+#include "core/string_util.h"
+#include "core/table_printer.h"
+
+namespace eafe::bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  const size_t repeats = config.full ? 10 : 4;
+  std::printf(
+      "Figure 1: score and evaluation time vs. sample percentage "
+      "(%zu repeats)\n\n",
+      repeats);
+  const std::vector<int> percentages = {10, 20, 40, 60, 80, 100};
+  ml::TaskEvaluator evaluator(config.EvaluatorOptions());
+
+  for (const data::DatasetInfo& info : data::TableOneDatasets()) {
+    BenchConfig larger = config;
+    larger.max_samples = config.full ? 5000 : 1000;
+    const data::Dataset dataset = Materialize(info, larger);
+    TablePrinter table({"Sample %", "Rows", "Score (mean±sd)",
+                        "Time per eval (ms)"});
+    Rng rng(config.seed + 5);
+    for (int pct : percentages) {
+      const size_t rows = std::max<size_t>(
+          dataset.num_rows() * static_cast<size_t>(pct) / 100, 30);
+      std::vector<double> scores;
+      std::vector<double> times;
+      for (size_t r = 0; r < repeats; ++r) {
+        const std::vector<size_t> sample =
+            rng.SampleWithoutReplacement(dataset.num_rows(), rows);
+        const data::Dataset subset = dataset.SelectRows(sample);
+        Stopwatch watch;
+        auto score = evaluator.Score(subset);
+        if (!score.ok()) continue;
+        times.push_back(watch.ElapsedMillis());
+        scores.push_back(*score);
+      }
+      table.AddRow({StrFormat("%d%%", pct), std::to_string(rows),
+                    StrFormat("%.3f±%.3f", stats::Mean(scores),
+                              stats::StdDev(scores)),
+                    TablePrinter::Num(stats::Mean(times), 1)});
+    }
+    std::printf("%s (%zu rows total)\n", info.name.c_str(),
+                dataset.num_rows());
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check: score saturates before 100%% sampling while "
+      "evaluation time grows with the sample count.\n");
+}
+
+}  // namespace
+}  // namespace eafe::bench
+
+int main(int argc, char** argv) {
+  eafe::bench::Run(eafe::bench::ParseStandardFlags(argc, argv));
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Reproduces Figure 8: hyperparameter sensitivity of E-AFE — label
+// threshold `thre`, MinHash signature dimension d, and maximum
+// transformation order. The paper's finding: the method is not strictly
+// sensitive to any of them; smaller thre raises recall, too-small d loses
+// information, larger max order costs time for marginal score.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/string_util.h"
+#include "core/table_printer.h"
+#include "fpe/trainer.h"
+
+namespace eafe::bench {
+namespace {
+
+void SweepThreshold(const BenchConfig& config, const FpeBundle& bundle,
+                    const data::Dataset& dataset) {
+  std::printf("(1) thre sweep (label threshold for feature validness)\n");
+  TablePrinter table({"thre", "Recall", "Precision", "E-AFE score"});
+  auto labeled_train = bundle.base.training_features;
+  auto labeled_valid = bundle.base.validation_features;
+  for (double thre : {0.001, 0.005, 0.01, 0.02, 0.05}) {
+    fpe::RelabelWithThreshold(&labeled_train, thre);
+    fpe::RelabelWithThreshold(&labeled_valid, thre);
+    fpe::FpeModel model;
+    const auto metrics = fpe::EvaluateCandidate(
+        labeled_train, labeled_valid, hashing::MinHashScheme::kCcws, 48,
+        fpe::FpeModel::ClassifierKind::kLogistic, config.seed, &model);
+    std::string recall = "n/a", precision = "n/a", score = "n/a";
+    if (metrics.ok()) {
+      recall = TablePrinter::Num(metrics->recall);
+      precision = TablePrinter::Num(metrics->precision);
+      afe::EafeSearch::Options options;
+      options.search = config.SearchOptions();
+      options.stage1_epochs = config.stage1_epochs;
+      options.fpe_model = &model;
+      options.reward.threshold = thre;
+      afe::EafeSearch search(options);
+      auto result = search.Run(dataset);
+      if (result.ok()) score = TablePrinter::Num(result->best_score);
+    }
+    table.AddRow({StrFormat("%.3f", thre), recall, precision, score});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void SweepDimension(const BenchConfig& config, const FpeBundle& bundle,
+                    const data::Dataset& dataset) {
+  std::printf("(2) MinHash signature dimension sweep\n");
+  TablePrinter table({"d", "Recall", "Precision", "E-AFE score"});
+  for (size_t d : {8u, 16u, 32u, 48u, 96u}) {
+    fpe::FpeModel model;
+    const auto metrics = fpe::EvaluateCandidate(
+        bundle.base.training_features, bundle.base.validation_features,
+        hashing::MinHashScheme::kCcws, d,
+        fpe::FpeModel::ClassifierKind::kLogistic, config.seed, &model);
+    std::string recall = "n/a", precision = "n/a", score = "n/a";
+    if (metrics.ok()) {
+      recall = TablePrinter::Num(metrics->recall);
+      precision = TablePrinter::Num(metrics->precision);
+      afe::EafeSearch::Options options;
+      options.search = config.SearchOptions();
+      options.stage1_epochs = config.stage1_epochs;
+      options.fpe_model = &model;
+      afe::EafeSearch search(options);
+      auto result = search.Run(dataset);
+      if (result.ok()) score = TablePrinter::Num(result->best_score);
+    }
+    table.AddRow({std::to_string(d), recall, precision, score});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void SweepMaxOrder(const BenchConfig& config, const FpeBundle& bundle,
+                   const data::Dataset& dataset) {
+  std::printf("(3) maximum transformation order sweep\n");
+  TablePrinter table({"Max order", "E-AFE score", "Evaluated features",
+                      "Time (s)"});
+  for (size_t order : {1u, 2u, 3u, 5u}) {
+    afe::EafeSearch::Options options;
+    options.search = config.SearchOptions();
+    options.search.max_order = order;
+    options.stage1_epochs = config.stage1_epochs;
+    options.fpe_model = &bundle.model(hashing::MinHashScheme::kCcws);
+    afe::EafeSearch search(options);
+    auto result = search.Run(dataset);
+    if (!result.ok()) {
+      table.AddRow({std::to_string(order), "fail", "-", "-"});
+      continue;
+    }
+    table.AddRow({std::to_string(order),
+                  TablePrinter::Num(result->best_score),
+                  std::to_string(result->features_evaluated),
+                  StrFormat("%.2f", result->total_seconds)});
+  }
+  table.Print();
+}
+
+void Run(const BenchConfig& config) {
+  std::printf("Figure 8: hyperparameter sensitivity of E-AFE\n\n");
+  const FpeBundle bundle =
+      PretrainFpeBundle(config, {hashing::MinHashScheme::kCcws});
+  const data::Dataset dataset = Materialize(
+      data::FindDatasetInfo("German Credit").ValueOrDie(), config);
+  SweepThreshold(config, bundle, dataset);
+  SweepDimension(config, bundle, dataset);
+  SweepMaxOrder(config, bundle, dataset);
+  std::printf(
+      "\nShape check: scores vary mildly across all three sweeps (the "
+      "paper's robustness claim); thre trades precision against the "
+      "positive-set size; larger max order costs evaluations/time for "
+      "marginal score.\n");
+}
+
+}  // namespace
+}  // namespace eafe::bench
+
+int main(int argc, char** argv) {
+  eafe::bench::Run(eafe::bench::ParseStandardFlags(argc, argv));
+  return 0;
+}

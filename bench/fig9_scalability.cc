@@ -1,0 +1,77 @@
+// Reproduces Figure 9: how E-AFE's running-time advantage and score
+// improvement over NFS change with dataset scale (sample count and
+// feature count). The paper's claim: the advantage grows with scale,
+// since the per-candidate evaluation that FPE skips gets more expensive.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/string_util.h"
+#include "core/table_printer.h"
+
+namespace eafe::bench {
+namespace {
+
+struct ScalePoint {
+  size_t samples;
+  size_t features;
+};
+
+void Run(const BenchConfig& config) {
+  std::printf(
+      "Figure 9: time and score improvement vs. dataset scale\n\n");
+  const FpeBundle bundle =
+      PretrainFpeBundle(config, {hashing::MinHashScheme::kCcws});
+
+  std::vector<ScalePoint> points;
+  if (config.full) {
+    points = {{250, 8}, {500, 8}, {1000, 8}, {2000, 8},
+              {500, 8}, {500, 16}, {500, 24}, {500, 32}};
+  } else {
+    points = {{150, 6}, {300, 6}, {600, 6}, {300, 6}, {300, 12}, {300, 18}};
+  }
+
+  TablePrinter table({"Samples", "Features", "NFS score", "E-AFE score",
+                      "Score delta", "NFS time (s)", "E-AFE time (s)",
+                      "Speedup"});
+  for (const ScalePoint& point : points) {
+    data::SyntheticSpec spec;
+    spec.name = StrFormat("scale_%zux%zu", point.samples, point.features);
+    spec.task = data::TaskType::kClassification;
+    spec.num_samples = point.samples;
+    spec.num_features = point.features;
+    spec.num_informative = std::max<size_t>(point.features / 3, 2);
+    spec.num_interactions = 3;
+    spec.noise = 0.25;
+    spec.seed = config.seed + point.samples * 131 + point.features;
+    auto dataset = data::MakeSynthetic(spec);
+    if (!dataset.ok()) continue;
+
+    auto nfs = MakeSearch("NFS", config, nullptr)->Run(*dataset);
+    auto eafe = MakeSearch("E-AFE", config,
+                           &bundle.model(hashing::MinHashScheme::kCcws))
+                    ->Run(*dataset);
+    if (!nfs.ok() || !eafe.ok()) continue;
+    table.AddRow(
+        {std::to_string(point.samples), std::to_string(point.features),
+         TablePrinter::Num(nfs->best_score),
+         TablePrinter::Num(eafe->best_score),
+         StrFormat("%+.3f", eafe->best_score - nfs->best_score),
+         StrFormat("%.2f", nfs->total_seconds),
+         StrFormat("%.2f", eafe->total_seconds),
+         StrFormat("%.2fx", nfs->total_seconds /
+                                std::max(eafe->total_seconds, 1e-9))});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: the speedup (NFS time / E-AFE time) grows with the "
+      "sample count and feature count.\n");
+}
+
+}  // namespace
+}  // namespace eafe::bench
+
+int main(int argc, char** argv) {
+  eafe::bench::Run(eafe::bench::ParseStandardFlags(argc, argv));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Micro-benchmarks (google-benchmark) for the hashing substrate: the
+// per-candidate FPE cost is one Compress call, so its throughput bounds
+// how many candidates per second the pre-evaluation can filter.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "hashing/minhash.h"
+#include "hashing/sample_compressor.h"
+
+namespace eafe::hashing {
+namespace {
+
+std::vector<double> RandomFeature(size_t n, uint64_t seed = 17) {
+  Rng rng(n * 2654435761u + seed);
+  std::vector<double> values(n);
+  for (double& v : values) v = rng.Normal();
+  return values;
+}
+
+void BM_Compress(benchmark::State& state, MinHashScheme scheme) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const size_t dimension = static_cast<size_t>(state.range(1));
+  CompressorOptions options;
+  options.scheme = scheme;
+  options.dimension = dimension;
+  SampleCompressor compressor(options);
+  const std::vector<double> feature = RandomFeature(rows);
+  for (auto _ : state) {
+    auto signature = compressor.Compress(feature);
+    benchmark::DoNotOptimize(signature);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+}
+
+void RegisterAll() {
+  for (MinHashScheme scheme : AllMinHashSchemes()) {
+    auto* bench = benchmark::RegisterBenchmark(
+        ("BM_Compress/" + MinHashSchemeToString(scheme)).c_str(),
+        [scheme](benchmark::State& state) { BM_Compress(state, scheme); });
+    bench->Args({256, 48})->Args({1024, 48})->Args({1024, 16});
+  }
+}
+
+void BM_GeneralizedJaccard(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> a = RandomFeature(n, 1);
+  std::vector<double> b = RandomFeature(n, 2);
+  for (double& v : a) v = std::fabs(v);
+  for (double& v : b) v = std::fabs(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GeneralizedJaccard(a, b));
+  }
+}
+BENCHMARK(BM_GeneralizedJaccard)->Arg(1024)->Arg(16384);
+
+}  // namespace
+}  // namespace eafe::hashing
+
+int main(int argc, char** argv) {
+  eafe::hashing::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

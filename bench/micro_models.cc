@@ -1,0 +1,67 @@
+// Micro-benchmarks (google-benchmark) for the model-evaluation substrate:
+// one downstream evaluation = k-fold CV of a random forest, the unit cost
+// that Table I showed dominates AFE running time.
+
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.h"
+#include "ml/evaluator.h"
+#include "ml/random_forest.h"
+
+namespace eafe::ml {
+namespace {
+
+data::Dataset MakeData(size_t rows, size_t features) {
+  data::SyntheticSpec spec;
+  spec.num_samples = rows;
+  spec.num_features = features;
+  spec.seed = rows * 31 + features;
+  return data::MakeSynthetic(spec).ValueOrDie();
+}
+
+void BM_RandomForestFit(benchmark::State& state) {
+  const data::Dataset dataset = MakeData(
+      static_cast<size_t>(state.range(0)),
+      static_cast<size_t>(state.range(1)));
+  RandomForest::Options options;
+  options.num_trees = 10;
+  options.max_depth = 6;
+  for (auto _ : state) {
+    RandomForest forest(options);
+    benchmark::DoNotOptimize(forest.Fit(dataset.features, dataset.labels));
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Args({200, 8})->Args({800, 8})->Args({800, 24});
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  const data::Dataset dataset = MakeData(
+      static_cast<size_t>(state.range(0)), 8);
+  RandomForest forest;
+  benchmark::DoNotOptimize(forest.Fit(dataset.features, dataset.labels));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.Predict(dataset.features));
+  }
+}
+BENCHMARK(BM_RandomForestPredict)->Arg(200)->Arg(800);
+
+void BM_DownstreamEvaluation(benchmark::State& state) {
+  // The full A_T(F, y): k-fold CV score — the cost E-AFE's filter avoids.
+  const data::Dataset dataset = MakeData(
+      static_cast<size_t>(state.range(0)),
+      static_cast<size_t>(state.range(1)));
+  EvaluatorOptions options;
+  options.cv_folds = 5;
+  TaskEvaluator evaluator(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.Score(dataset));
+  }
+}
+BENCHMARK(BM_DownstreamEvaluation)
+    ->Args({200, 8})
+    ->Args({800, 8})
+    ->Args({800, 24});
+
+}  // namespace
+}  // namespace eafe::ml
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Reproduces Table I: time profile of one NFS epoch on four datasets —
+// nearly all time goes to evaluating new features, almost none to
+// generating them. This observation motivates the whole paper.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/string_util.h"
+#include "core/table_printer.h"
+
+namespace eafe::bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  std::printf(
+      "Table I: one NFS epoch — generation vs. evaluation time\n"
+      "(paper: ~0.1%% generation, ~90%% evaluation of total)\n\n");
+  TablePrinter table({"Dataset", "Instances\\Features", "New Features",
+                      "Generation Time", "Eval. New Features Time",
+                      "Total Time", "Eval %"});
+  for (const data::DatasetInfo& info : data::TableOneDatasets()) {
+    BenchConfig one_epoch = config;
+    one_epoch.epochs = 1;
+    const data::Dataset dataset = Materialize(info, one_epoch);
+    auto search = MakeSearch("NFS", one_epoch, nullptr);
+    auto result = search->Run(dataset);
+    if (!result.ok()) {
+      std::fprintf(stderr, "NFS failed on %s: %s\n", info.name.c_str(),
+                   result.status().ToString().c_str());
+      continue;
+    }
+    table.AddRow({info.name,
+                  StrFormat("%zu\\%zu", dataset.num_rows(),
+                            dataset.num_features()),
+                  std::to_string(result->features_generated),
+                  StrFormat("%.1fms", result->generation_seconds * 1e3),
+                  StrFormat("%.2fs", result->evaluation_seconds),
+                  StrFormat("%.2fs", result->total_seconds),
+                  StrFormat("%.1f%%", 100.0 * result->evaluation_seconds /
+                                          result->total_seconds)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: evaluation dominates total time; generation is "
+      "orders of magnitude cheaper.\n");
+}
+
+}  // namespace
+}  // namespace eafe::bench
+
+int main(int argc, char** argv) {
+  eafe::bench::Run(eafe::bench::ParseStandardFlags(argc, argv));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Table IV: the number of downstream feature evaluations per
+// method on each target dataset. The paper's headline efficiency result:
+// E-AFE (and the random-drop ablation E-AFE_D) evaluate roughly half or
+// fewer of the candidates that FS_R / NFS push through the downstream
+// task.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/stats.h"
+#include "core/string_util.h"
+#include "core/table_printer.h"
+
+namespace eafe::bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  std::printf(
+      "Table IV: downstream feature-evaluation counts per run "
+      "(%zu epochs)\n\n",
+      config.epochs);
+  const FpeBundle bundle =
+      PretrainFpeBundle(config, {hashing::MinHashScheme::kCcws});
+
+  TablePrinter table({"Dataset", "FS_R", "NFS", "E-AFE_D", "E-AFE",
+                      "E-AFE/NFS"});
+  std::vector<double> ratios;
+  for (const data::DatasetInfo& info : SelectDatasets(config)) {
+    const data::Dataset dataset = Materialize(info, config);
+    std::vector<std::string> row = {info.name};
+    size_t nfs_evals = 0;
+    size_t eafe_evals = 0;
+    for (const std::string& method :
+         {std::string("FS_R"), std::string("NFS"), std::string("E-AFE_D"),
+          std::string("E-AFE")}) {
+      auto search = MakeSearch(
+          method, config,
+          &bundle.model(hashing::MinHashScheme::kCcws));
+      auto result = search->Run(dataset);
+      if (!result.ok()) {
+        row.push_back("fail");
+        continue;
+      }
+      row.push_back(std::to_string(result->features_evaluated));
+      if (method == "NFS") nfs_evals = result->features_evaluated;
+      if (method == "E-AFE") eafe_evals = result->features_evaluated;
+    }
+    const double ratio =
+        nfs_evals > 0 ? static_cast<double>(eafe_evals) /
+                            static_cast<double>(nfs_evals)
+                      : 0.0;
+    ratios.push_back(ratio);
+    row.push_back(StrFormat("%.2f", ratio));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nMean E-AFE/NFS evaluation ratio: %.2f "
+      "(paper: E-AFE evaluates < 50%% of other methods' features)\n",
+      stats::Mean(ratios));
+}
+
+}  // namespace
+}  // namespace eafe::bench
+
+int main(int argc, char** argv) {
+  eafe::bench::Run(eafe::bench::ParseStandardFlags(argc, argv));
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Table V: robustness of the selected features to a replaced
+// downstream task. Features are searched with the RF evaluator (as in
+// Table III), cached, and re-scored under SVM, NB/GP, and MLP downstream
+// models. The paper's claim: E-AFE's features transfer at least as well
+// as the baselines'.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/stats.h"
+#include "core/string_util.h"
+#include "core/table_printer.h"
+
+namespace eafe::bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  std::printf(
+      "Table V: cached features re-scored under replaced downstream "
+      "tasks\n\n");
+  const FpeBundle bundle =
+      PretrainFpeBundle(config, {hashing::MinHashScheme::kCcws});
+
+  const std::vector<std::pair<std::string, ml::ModelKind>> downstreams = {
+      {"SVM", ml::ModelKind::kLinearSvm},
+      {"NB/GP", ml::ModelKind::kNaiveBayesOrGp},
+      {"MLP", ml::ModelKind::kMlp},
+  };
+  TablePrinter table({"Dataset", "C\\R", "Method", "SVM", "NB/GP", "MLP"});
+  std::map<std::string, std::vector<double>> method_means;
+
+  for (const data::DatasetInfo& info : SelectDatasets(config)) {
+    const data::Dataset dataset = Materialize(info, config);
+    for (const std::string& method :
+         {std::string("FS_R"), std::string("NFS"), std::string("E-AFE")}) {
+      auto search = MakeSearch(
+          method, config,
+          &bundle.model(hashing::MinHashScheme::kCcws));
+      auto result = search->Run(dataset);
+      std::vector<std::string> row = {
+          info.name,
+          info.task == data::TaskType::kClassification ? "C" : "R", method};
+      if (!result.ok()) {
+        row.insert(row.end(), {"fail", "fail", "fail"});
+        table.AddRow(std::move(row));
+        continue;
+      }
+      for (const auto& [label, kind] : downstreams) {
+        (void)label;
+        const auto score =
+            ScoreWithModel(result->best_dataset, kind, config);
+        if (score.ok()) {
+          row.push_back(TablePrinter::Num(*score));
+          method_means[method].push_back(*score);
+        } else {
+          row.push_back("fail");
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  table.Print();
+
+  std::printf("\nMean transferred score per method:\n");
+  for (const auto& [method, scores] : method_means) {
+    std::printf("  %-8s %.3f\n", method.c_str(), stats::Mean(scores));
+  }
+  std::printf(
+      "\nShape check: E-AFE's cached features transfer to SVM/NB/GP/MLP "
+      "at least as well as FS_R's and NFS's.\n");
+}
+
+}  // namespace
+}  // namespace eafe::bench
+
+int main(int argc, char** argv) {
+  eafe::bench::Run(eafe::bench::ParseStandardFlags(argc, argv));
+  return 0;
+}

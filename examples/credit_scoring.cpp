@@ -1,0 +1,99 @@
+// Credit-scoring scenario: compare E-AFE against NFS and random search on
+// a credit-risk style classification table, then verify the engineered
+// features transfer to a different production model (linear SVM) — the
+// situation the paper's intro motivates: an AFE system deployed at scale
+// must be fast *and* produce features that survive a model swap.
+//
+// Build & run:  cmake --build build && ./build/examples/credit_scoring
+
+#include <cstdio>
+
+#include "afe/eafe.h"
+#include "afe/fpe_pretraining.h"
+#include "afe/nfs.h"
+#include "afe/random_search.h"
+#include "core/table_printer.h"
+#include "data/registry.h"
+#include "data/synthetic.h"
+#include "ml/evaluator.h"
+
+namespace {
+
+eafe::Result<double> SvmScore(const eafe::data::Dataset& dataset) {
+  eafe::ml::EvaluatorOptions options;
+  options.model = eafe::ml::ModelKind::kLinearSvm;
+  eafe::ml::TaskEvaluator evaluator(options);
+  return evaluator.Score(dataset);
+}
+
+}  // namespace
+
+int main() {
+  using namespace eafe;
+
+  data::Dataset credit =
+      data::MakeTargetDatasetByName("German Credit").ValueOrDie();
+  std::printf("Credit dataset: %zu applicants, %zu attributes\n\n",
+              credit.num_rows(), credit.num_features());
+
+  std::printf("Pre-training FPE model on public datasets...\n\n");
+  auto fpe =
+      afe::PretrainFpe(data::MakePublicCollection(10, 0.6, 7), {})
+          .ValueOrDie();
+
+  afe::SearchOptions search_options;
+  search_options.epochs = 10;
+  search_options.steps_per_agent = 3;
+  search_options.seed = 17;
+
+  TablePrinter table({"Method", "RF score (F1)", "Downstream evals",
+                      "Wall time (s)", "SVM transfer"});
+  data::Dataset eafe_features;
+
+  // AutoFS_R: random generation + selection.
+  {
+    afe::RandomSearch search(search_options);
+    const auto result = search.Run(credit).ValueOrDie();
+    table.AddRow({"AutoFS_R", TablePrinter::Num(result.best_score),
+                  std::to_string(result.downstream_evaluations),
+                  TablePrinter::Num(result.total_seconds, 1),
+                  TablePrinter::Num(
+                      SvmScore(result.best_dataset).ValueOr(0.0))});
+  }
+  // NFS: learned generation, no pre-evaluation.
+  {
+    afe::NfsSearch search(search_options);
+    const auto result = search.Run(credit).ValueOrDie();
+    table.AddRow({"NFS", TablePrinter::Num(result.best_score),
+                  std::to_string(result.downstream_evaluations),
+                  TablePrinter::Num(result.total_seconds, 1),
+                  TablePrinter::Num(
+                      SvmScore(result.best_dataset).ValueOr(0.0))});
+  }
+  // E-AFE: two-stage training with FPE filtering.
+  {
+    afe::EafeSearch::Options options;
+    options.search = search_options;
+    options.stage1_epochs = 8;
+    options.fpe_model = &fpe.model;
+    afe::EafeSearch search(options);
+    const auto result = search.Run(credit).ValueOrDie();
+    eafe_features = result.best_dataset;
+    table.AddRow({"E-AFE", TablePrinter::Num(result.best_score),
+                  std::to_string(result.downstream_evaluations),
+                  TablePrinter::Num(result.total_seconds, 1),
+                  TablePrinter::Num(
+                      SvmScore(result.best_dataset).ValueOr(0.0))});
+  }
+
+  table.Print();
+  std::printf("\nE-AFE's engineered credit attributes:\n");
+  for (const std::string& name : eafe_features.features.ColumnNames()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf(
+      "\nReading: E-AFE reaches a comparable F1 with far fewer downstream\n"
+      "evaluations (the expensive step), and its features transfer to the\n"
+      "SVM without re-running the search.\n");
+  return 0;
+}

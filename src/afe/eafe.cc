@@ -1,0 +1,318 @@
+#include "afe/eafe.h"
+
+#include "core/rng.h"
+#include "core/stopwatch.h"
+
+namespace eafe::afe {
+
+EafeSearch::EafeSearch(const Options& options)
+    : options_(options), replay_(options.replay_capacity) {}
+
+std::string EafeSearch::name() const {
+  switch (options_.variant) {
+    case Variant::kFull:
+      return "E-AFE";
+    case Variant::kRandomDrop:
+      return "E-AFE_D";
+    case Variant::kPolicyGradient:
+      return "E-AFE_R";
+  }
+  return "E-AFE";
+}
+
+Status EafeSearch::RunStage1(const data::Dataset& dataset,
+                             std::vector<RnnAgent>* agents, Rng* rng,
+                             SearchResult* result) {
+  FeatureSpace::Options space_options;
+  space_options.max_order = options_.search.max_order;
+  space_options.max_generated_per_group =
+      options_.search.max_generated_per_group;
+  FeatureSpace space(dataset, space_options);
+
+  for (size_t epoch = 0; epoch < options_.stage1_epochs; ++epoch) {
+    const double progress = static_cast<double>(epoch) /
+                            static_cast<double>(options_.stage1_epochs);
+    for (size_t group = 0; group < space.num_groups(); ++group) {
+      RnnAgent& agent = (*agents)[group];
+      agent.ResetEpisode();
+      int last_action = -1;
+      double last_reward = 0.0;
+      double previous_shaped = options_.reward.base_score;
+      std::vector<size_t> actions;
+      std::vector<double> rewards;
+      for (size_t step = 0; step < options_.search.steps_per_agent; ++step) {
+        const std::vector<double> state = BuildAgentState(
+            last_action, last_reward, space.group(group).size(), progress);
+        const std::vector<double> probs = agent.Step(state);
+        // Algorithm 2 line 3: agents sample with equal rate in the first
+        // initialization epoch, then follow the emerging policy.
+        const size_t action_index =
+            epoch == 0 ? rng->UniformInt(static_cast<uint64_t>(kNumOperators))
+                       : agent.SampleAction(probs, rng);
+        const Operator op = AllOperators()[action_index];
+        const FeatureSpace::Action action =
+            space.MakeAction(group, op, rng);
+        auto candidate = space.GenerateCandidate(action);
+
+        double reward = 0.0;
+        if (candidate.ok()) {
+          ++result->features_generated;
+          EAFE_ASSIGN_OR_RETURN(
+              double p_effective,
+              options_.fpe_model->PredictProbability(
+                  candidate->column.values()));
+          // Eq. 7/8: the shaping uses the paper's "small p marks an
+          // effective feature" convention.
+          const double shaped =
+              FpeShapedScore(1.0 - p_effective, options_.reward);
+          reward = shaped - previous_shaped;  // r_t^h of Eq. 9.
+          previous_shaped = shaped;
+          if (p_effective >= options_.fpe_accept_threshold) {
+            ReplayEntry entry;
+            entry.group = group;
+            entry.op = op;
+            entry.feature_name = candidate->column.name();
+            entry.fpe_probability = p_effective;
+            entry.order = candidate->order;
+            entry.column = candidate->column;  // Replayed in stage 2.
+            replay_.Add(std::move(entry));
+            // Accepting into the stage-1 space makes higher-order
+            // compositions reachable during initialization.
+            (void)space.Accept(group, std::move(candidate).ValueOrDie());
+          }
+        }
+        actions.push_back(action_index);
+        rewards.push_back(reward);
+        last_action = static_cast<int>(action_index);
+        last_reward = reward;
+      }
+      agent.Update(actions,
+                   DiscountedReturns(rewards, options_.search.gamma));
+    }
+  }
+  return Status::OK();
+}
+
+Result<SearchResult> EafeSearch::Run(const data::Dataset& dataset) {
+  EAFE_RETURN_NOT_OK(dataset.Validate());
+  const bool needs_fpe = options_.variant != Variant::kRandomDrop;
+  if (needs_fpe &&
+      (options_.fpe_model == nullptr || !options_.fpe_model->trained())) {
+    return Status::FailedPrecondition(
+        "EafeSearch variant requires a trained FPE model");
+  }
+  if (options_.variant == Variant::kRandomDrop &&
+      (options_.random_drop_pass_rate <= 0.0 ||
+       options_.random_drop_pass_rate > 1.0)) {
+    return Status::InvalidArgument("random_drop_pass_rate must be in (0,1]");
+  }
+
+  Stopwatch total_watch;
+  Rng rng(options_.search.seed);
+  ml::TaskEvaluator evaluator(options_.search.evaluator);
+  replay_.Clear();
+
+  SearchResult result;
+  result.method = name();
+
+  // Agents persist across both stages — the whole point of stage 1.
+  std::vector<RnnAgent> agents;
+  FeatureSpace::Options space_options;
+  space_options.max_order = options_.search.max_order;
+  space_options.max_generated_per_group =
+      options_.search.max_generated_per_group;
+  {
+    FeatureSpace probe(dataset, space_options);
+    agents.reserve(probe.num_groups());
+    for (size_t g = 0; g < probe.num_groups(); ++g) {
+      RnnAgent::Options agent_options;
+      agent_options.input_dim = kAgentStateDim;
+      agent_options.hidden_dim = options_.search.agent_hidden_dim;
+      agent_options.num_actions = kNumOperators;
+      agent_options.learning_rate = options_.search.learning_rate;
+      agent_options.seed = rng.Next();
+      agents.emplace_back(agent_options);
+    }
+  }
+
+  // Stage 1: quick initialization with the FPE model (kFull only;
+  // kPolicyGradient ablates the two-stage strategy, kRandomDrop has no
+  // model to initialize from).
+  if (options_.variant == Variant::kFull && options_.stage1_epochs > 0) {
+    Stopwatch stage1_watch;
+    EAFE_RETURN_NOT_OK(RunStage1(dataset, &agents, &rng, &result));
+    result.generation_seconds += stage1_watch.ElapsedSeconds();
+  }
+
+  // Stage 2: formal training against the downstream task.
+  FeatureSpace space(dataset, space_options);
+  Stopwatch eval_watch;
+  EAFE_ASSIGN_OR_RETURN(result.base_score, evaluator.Score(dataset));
+  result.evaluation_seconds += eval_watch.ElapsedSeconds();
+  result.best_score = result.base_score;
+
+  // Stage-2 replay queue (Algorithm 2 line 16: "Get feature from replay
+  // buffer"): the FPE-positive features stage 1 stored, most promising
+  // first. They are evaluated before fresh exploration — stage 1 already
+  // paid the screening cost, so stage 2's first downstream evaluations go
+  // to pre-vetted candidates.
+  std::vector<ReplayEntry> replay_queue =
+      options_.variant == Variant::kFull ? replay_.SortedByProbability()
+                                         : std::vector<ReplayEntry>();
+  const size_t total_steps = options_.search.epochs *
+                             options_.search.steps_per_agent *
+                             std::max<size_t>(agents.size(), 1);
+  const size_t replay_budget = static_cast<size_t>(
+      options_.replay_fraction * static_cast<double>(total_steps));
+  if (replay_queue.size() > replay_budget) {
+    replay_queue.resize(replay_budget);
+  }
+  size_t replay_cursor = 0;
+
+  size_t last_improvement_epoch = 0;
+  size_t kept_at_last_improvement = 0;
+  for (size_t epoch = 0; epoch < options_.search.epochs; ++epoch) {
+    const double progress = static_cast<double>(epoch) /
+                            static_cast<double>(options_.search.epochs);
+    for (size_t group = 0; group < space.num_groups(); ++group) {
+      RnnAgent& agent = agents[group];
+      agent.ResetEpisode();
+      int last_action = -1;
+      double last_reward = 0.0;
+      std::vector<size_t> actions;
+      std::vector<double> rewards;
+      for (size_t step = 0; step < options_.search.steps_per_agent; ++step) {
+        const std::vector<double> state = BuildAgentState(
+            last_action, last_reward, space.group(group).size(), progress);
+        const std::vector<double> probs = agent.Step(state);
+
+        // Replay phase: consume the pre-screened stage-1 features first.
+        if (replay_cursor < replay_queue.size()) {
+          const ReplayEntry& entry = replay_queue[replay_cursor++];
+          const size_t replay_action = static_cast<size_t>(entry.op);
+          double reward = 0.0;
+          if (!space.Contains(entry.group, entry.column.name())) {
+            SpaceFeature candidate;
+            candidate.column = entry.column;
+            candidate.order = entry.order;
+            eval_watch.Restart();
+            EAFE_ASSIGN_OR_RETURN(
+                double gain,
+                EvaluateCandidateGain(evaluator, space, candidate,
+                                      result.best_score));
+            result.evaluation_seconds += eval_watch.ElapsedSeconds();
+            ++result.features_evaluated;
+            reward = gain;
+            if (gain > options_.search.accept_margin &&
+                space.Accept(entry.group, std::move(candidate)).ok()) {
+              result.best_score += gain;
+              ++result.features_kept;
+            }
+          }
+          actions.push_back(replay_action);
+          rewards.push_back(reward);
+          last_action = static_cast<int>(replay_action);
+          last_reward = reward;
+          continue;
+        }
+
+        // Retry generation until the pre-evaluation passes a candidate or
+        // attempts run out — filtering saves evaluations, not generation
+        // (Table I shows generation is negligible). The policy probs stay
+        // fixed within the step, so the single recorded action below is a
+        // valid REINFORCE sample.
+        double reward = 0.0;
+        size_t action_index = agent.SampleAction(probs, &rng);
+        for (size_t attempt = 0;
+             attempt < std::max<size_t>(options_.max_generation_attempts, 1);
+             ++attempt) {
+          action_index = agent.SampleAction(probs, &rng);
+          // Bias fresh generation toward operators that produced
+          // FPE-positive features in stage 1.
+          const bool use_replay =
+              options_.variant == Variant::kFull && !replay_.empty() &&
+              rng.Bernoulli(options_.replay_bias * (1.0 - progress));
+          if (use_replay) {
+            action_index = static_cast<size_t>(replay_.Sample(&rng).op);
+          }
+          const Operator op = AllOperators()[action_index];
+
+          Stopwatch gen_watch;
+          const FeatureSpace::Action action =
+              space.MakeAction(group, op, &rng);
+          auto candidate = space.GenerateCandidate(action);
+          result.generation_seconds += gen_watch.ElapsedSeconds();
+          if (!candidate.ok()) continue;
+          ++result.features_generated;
+
+          // Pre-evaluation filter.
+          bool passes = true;
+          if (options_.variant == Variant::kRandomDrop) {
+            passes = rng.Bernoulli(options_.random_drop_pass_rate);
+          } else {
+            EAFE_ASSIGN_OR_RETURN(
+                double p_effective,
+                options_.fpe_model->PredictProbability(
+                    candidate->column.values()));
+            passes = p_effective >= options_.fpe_accept_threshold;
+          }
+          if (!passes) continue;
+
+          eval_watch.Restart();
+          EAFE_ASSIGN_OR_RETURN(
+              double gain,
+              EvaluateCandidateGain(evaluator, space, *candidate,
+                                    result.best_score));
+          result.evaluation_seconds += eval_watch.ElapsedSeconds();
+          ++result.features_evaluated;
+          reward = gain;
+          if (gain > options_.search.accept_margin &&
+              space.Accept(group, std::move(candidate).ValueOrDie()).ok()) {
+            result.best_score += gain;
+            ++result.features_kept;
+          }
+          break;
+        }
+        actions.push_back(action_index);
+        rewards.push_back(reward);
+        last_action = static_cast<int>(action_index);
+        last_reward = reward;
+      }
+      // kFull / kRandomDrop use the Eq. 10 lambda-return; the
+      // kPolicyGradient ablation uses NFS-style discounted returns.
+      if (options_.variant == Variant::kPolicyGradient) {
+        agent.Update(actions,
+                     DiscountedReturns(rewards, options_.search.gamma));
+      } else {
+        agent.Update(actions,
+                     LambdaReturns(rewards, options_.search.gamma,
+                                   options_.search.lambda));
+      }
+    }
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.best_score = result.best_score;
+    stats.elapsed_seconds = total_watch.ElapsedSeconds();
+    stats.cumulative_evaluations = evaluator.evaluation_count();
+    stats.features_generated = result.features_generated;
+    result.curve.push_back(stats);
+    // Early stopping: quit once no feature has been accepted for
+    // `early_stop_patience` consecutive epochs.
+    if (result.features_kept > kept_at_last_improvement) {
+      kept_at_last_improvement = result.features_kept;
+      last_improvement_epoch = epoch;
+    }
+    if (options_.search.early_stop_patience > 0 &&
+        epoch - last_improvement_epoch >= options_.search.early_stop_patience) {
+      break;
+    }
+  }
+
+  result.best_dataset = space.ToDataset();
+  result.downstream_evaluations = evaluator.evaluation_count();
+  EAFE_RETURN_NOT_OK(FinalizeSearchResult(options_.search, dataset, &result));
+  result.total_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace eafe::afe

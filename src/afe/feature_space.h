@@ -1,0 +1,98 @@
+#ifndef EAFE_AFE_FEATURE_SPACE_H_
+#define EAFE_AFE_FEATURE_SPACE_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "afe/operators.h"
+#include "core/rng.h"
+#include "core/status.h"
+#include "data/dataframe.h"
+
+namespace eafe::afe {
+
+/// A feature in the environment: its column, transformation order (0 for
+/// original features), and whether it has been selected into the state.
+struct SpaceFeature {
+  data::Column column;
+  size_t order = 0;
+};
+
+/// The RL environment: the generated-feature subspace (Section II). Each
+/// original feature owns a subgroup containing itself plus the generated
+/// features accepted so far; agent i acts on subgroup i. The state is the
+/// set of selected features across subgroups; accepting a feature expands
+/// the state (the transition of Fig. 3).
+class FeatureSpace {
+ public:
+  struct Options {
+    /// Maximum transformation order; candidates beyond it are rejected
+    /// (paper default 5).
+    size_t max_order = 5;
+    /// Cap on accepted generated features per subgroup, bounding the
+    /// downstream evaluation cost of the expanding state.
+    size_t max_generated_per_group = 6;
+  };
+
+  /// Builds the initial state from a dataset: one subgroup per original
+  /// feature.
+  FeatureSpace(const data::Dataset& base, const Options& options);
+
+  size_t num_groups() const { return groups_.size(); }
+  const std::vector<SpaceFeature>& group(size_t index) const;
+  const Options& options() const { return options_; }
+
+  /// An action: OPERATOR(feature_1, feature_2) issued by the agent of
+  /// `group` (Fig. 3). feature_1 always comes from the agent's own
+  /// subgroup; for binary operators feature_2 may come from any subgroup
+  /// of the selected state — without this, cross-feature interactions
+  /// (e.g. f1*f2) would be unreachable from single-feature subgroups.
+  struct Action {
+    size_t group = 0;
+    Operator op = Operator::kLog;
+    size_t input_a = 0;        ///< Index within the agent's subgroup.
+    size_t input_b_group = 0;  ///< Subgroup of feature_2.
+    size_t input_b = 0;        ///< Index within input_b_group.
+  };
+
+  /// Materializes the candidate feature for an action without changing
+  /// the state. Errors on out-of-range inputs, on exceeding max_order, or
+  /// on a duplicate (name already generated in this group).
+  Result<SpaceFeature> GenerateCandidate(const Action& action) const;
+
+  /// Accepts a candidate into its subgroup (the qualified branch of the
+  /// transition). Fails when the group cap is reached.
+  Status Accept(size_t group, SpaceFeature feature);
+
+  /// Uniformly samples a syntactically valid action for a group: an
+  /// operator plus input indices (two draws with replacement for binary
+  /// operators).
+  Action SampleRandomAction(size_t group, Rng* rng) const;
+
+  /// Like SampleRandomAction but with the operator fixed by the policy;
+  /// only the operand indices are sampled.
+  Action MakeAction(size_t group, Operator op, Rng* rng) const;
+
+  /// Current dataset: original features plus every accepted generated
+  /// feature (the selected state).
+  data::Dataset ToDataset() const;
+
+  /// Number of accepted generated features across all subgroups.
+  size_t num_generated() const;
+
+  /// True if `name` was already generated (and accepted) in `group`.
+  bool Contains(size_t group, const std::string& name) const;
+
+ private:
+  Options options_;
+  std::string name_;
+  data::TaskType task_;
+  std::vector<double> labels_;
+  std::vector<std::vector<SpaceFeature>> groups_;
+  std::vector<std::unordered_set<std::string>> group_names_;
+};
+
+}  // namespace eafe::afe
+
+#endif  // EAFE_AFE_FEATURE_SPACE_H_

@@ -1,0 +1,72 @@
+#include "afe/fpe_pretraining.h"
+
+#include "afe/feature_space.h"
+#include "core/rng.h"
+
+namespace eafe::afe {
+
+Result<std::vector<fpe::LabeledFeature>> LabelGeneratedCandidates(
+    const data::Dataset& dataset, const ml::TaskEvaluator& evaluator,
+    double threshold, size_t count, size_t max_order, uint64_t seed) {
+  EAFE_RETURN_NOT_OK(dataset.Validate());
+  Rng rng(seed);
+  FeatureSpace::Options space_options;
+  space_options.max_order = max_order;
+  // Keep the space at the original features: each candidate is labeled
+  // against the raw dataset, not against previously accepted candidates,
+  // so labels are independent of generation order.
+  space_options.max_generated_per_group = 0;
+  FeatureSpace space(dataset, space_options);
+  EAFE_ASSIGN_OR_RETURN(double base_score, evaluator.Score(dataset));
+
+  std::vector<fpe::LabeledFeature> out;
+  out.reserve(count);
+  size_t attempts = 0;
+  const size_t max_attempts = count * 8 + 16;
+  while (out.size() < count && attempts < max_attempts) {
+    ++attempts;
+    const size_t group =
+        rng.UniformInt(static_cast<uint64_t>(space.num_groups()));
+    const FeatureSpace::Action action = space.SampleRandomAction(group, &rng);
+    auto candidate = space.GenerateCandidate(action);
+    if (!candidate.ok()) continue;
+    data::Dataset augmented = dataset;
+    data::Column column = candidate->column;
+    if (!augmented.features.AddColumn(column).ok()) continue;
+    EAFE_ASSIGN_OR_RETURN(double score, evaluator.Score(augmented));
+
+    fpe::LabeledFeature feature;
+    feature.dataset_name = dataset.name;
+    feature.feature_name = candidate->column.name();
+    feature.task = dataset.task;
+    feature.values = candidate->column.values();
+    feature.score_gain = score - base_score;
+    feature.label = feature.score_gain > threshold ? 1 : 0;
+    out.push_back(std::move(feature));
+  }
+  return out;
+}
+
+Result<fpe::FpeTrainingResult> PretrainFpe(
+    const std::vector<data::Dataset>& public_datasets,
+    const FpePretrainingOptions& options) {
+  fpe::FpeTrainingOptions trainer_options = options.trainer;
+  if (options.generated_per_dataset > 0) {
+    ml::TaskEvaluator evaluator(trainer_options.evaluator);
+    Rng rng(options.seed);
+    for (const data::Dataset& dataset : public_datasets) {
+      EAFE_ASSIGN_OR_RETURN(
+          std::vector<fpe::LabeledFeature> generated,
+          LabelGeneratedCandidates(dataset, evaluator,
+                                   trainer_options.threshold,
+                                   options.generated_per_dataset,
+                                   options.max_order, rng.Next()));
+      for (fpe::LabeledFeature& f : generated) {
+        trainer_options.extra_labeled.push_back(std::move(f));
+      }
+    }
+  }
+  return fpe::TrainFpeModel(public_datasets, trainer_options);
+}
+
+}  // namespace eafe::afe

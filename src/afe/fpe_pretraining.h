@@ -1,0 +1,43 @@
+#ifndef EAFE_AFE_FPE_PRETRAINING_H_
+#define EAFE_AFE_FPE_PRETRAINING_H_
+
+#include <vector>
+
+#include "core/status.h"
+#include "data/dataframe.h"
+#include "fpe/trainer.h"
+
+namespace eafe::afe {
+
+/// One-stop FPE pretraining for the search pipeline. Runs Algorithm 1's
+/// leave-one-feature-out labeling on the public datasets and, in
+/// addition, labels randomly *generated* candidate features on the same
+/// datasets by their add-one-in gain (score(D + f) - score(D) > thre).
+/// The augmentation matters because at search time the FPE model judges
+/// generated features, whose value distributions differ from raw columns;
+/// training on both aligns the classifier with its deployment inputs.
+struct FpePretrainingOptions {
+  fpe::FpeTrainingOptions trainer;
+  /// Random candidates generated and labeled per public dataset
+  /// (0 disables augmentation, recovering the bare Algorithm 1).
+  size_t generated_per_dataset = 16;
+  /// Max transformation order of the generated candidates.
+  size_t max_order = 2;
+  uint64_t seed = 31;
+};
+
+/// Labels `count` random generated candidates on `dataset` by add-one-in
+/// gain against the downstream task. Exposed for tests and the Fig. 6
+/// gain-distribution bench.
+Result<std::vector<fpe::LabeledFeature>> LabelGeneratedCandidates(
+    const data::Dataset& dataset, const ml::TaskEvaluator& evaluator,
+    double threshold, size_t count, size_t max_order, uint64_t seed);
+
+/// Pretrains the FPE model with the candidate-distribution augmentation.
+Result<fpe::FpeTrainingResult> PretrainFpe(
+    const std::vector<data::Dataset>& public_datasets,
+    const FpePretrainingOptions& options = {});
+
+}  // namespace eafe::afe
+
+#endif  // EAFE_AFE_FPE_PRETRAINING_H_

@@ -1,0 +1,145 @@
+#include "afe/operators.h"
+
+#include <cmath>
+
+#include "core/string_util.h"
+
+namespace eafe::afe {
+
+bool IsUnary(Operator op) {
+  return static_cast<size_t>(op) < kNumUnaryOperators;
+}
+
+const std::vector<Operator>& AllOperators() {
+  static const auto* kOperators = new std::vector<Operator>{
+      Operator::kLog,      Operator::kMinMaxNormalize,
+      Operator::kSqrt,     Operator::kReciprocal,
+      Operator::kAdd,      Operator::kSubtract,
+      Operator::kMultiply, Operator::kDivide,
+      Operator::kModulo,
+  };
+  return *kOperators;
+}
+
+std::string OperatorToString(Operator op) {
+  switch (op) {
+    case Operator::kLog:
+      return "log";
+    case Operator::kMinMaxNormalize:
+      return "minmax";
+    case Operator::kSqrt:
+      return "sqrt";
+    case Operator::kReciprocal:
+      return "reciprocal";
+    case Operator::kAdd:
+      return "add";
+    case Operator::kSubtract:
+      return "subtract";
+    case Operator::kMultiply:
+      return "multiply";
+    case Operator::kDivide:
+      return "divide";
+    case Operator::kModulo:
+      return "modulo";
+  }
+  return "?";
+}
+
+Result<Operator> OperatorFromString(const std::string& name) {
+  const std::string lower = ToLower(name);
+  for (Operator op : AllOperators()) {
+    if (OperatorToString(op) == lower) return op;
+  }
+  return Status::InvalidArgument("unknown operator: " + name);
+}
+
+std::string DerivedFeatureName(Operator op, const std::string& a,
+                               const std::string& b) {
+  switch (op) {
+    case Operator::kLog:
+      return "log(" + a + ")";
+    case Operator::kMinMaxNormalize:
+      return "minmax(" + a + ")";
+    case Operator::kSqrt:
+      return "sqrt(" + a + ")";
+    case Operator::kReciprocal:
+      return "recip(" + a + ")";
+    case Operator::kAdd:
+      return "(" + a + "+" + b + ")";
+    case Operator::kSubtract:
+      return "(" + a + "-" + b + ")";
+    case Operator::kMultiply:
+      return "(" + a + "*" + b + ")";
+    case Operator::kDivide:
+      return "(" + a + "/" + b + ")";
+    case Operator::kModulo:
+      return "(" + a + "%" + b + ")";
+  }
+  return a;
+}
+
+Result<data::Column> ApplyOperator(Operator op, const data::Column& a,
+                                   const data::Column& b) {
+  if (a.empty()) {
+    return Status::InvalidArgument("cannot transform an empty column");
+  }
+  if (!IsUnary(op) && a.size() != b.size()) {
+    return Status::InvalidArgument(
+        StrFormat("binary operator on mismatched lengths %zu vs %zu",
+                  a.size(), b.size()));
+  }
+  const size_t n = a.size();
+  std::vector<double> values(n);
+  switch (op) {
+    case Operator::kLog:
+      for (size_t i = 0; i < n; ++i) {
+        values[i] = std::log(std::fabs(a[i]) + 1.0);
+      }
+      break;
+    case Operator::kMinMaxNormalize: {
+      const double lo = a.Min();
+      const double hi = a.Max();
+      const double range = hi - lo;
+      for (size_t i = 0; i < n; ++i) {
+        values[i] = range > 0.0 ? (a[i] - lo) / range : 0.0;
+      }
+      break;
+    }
+    case Operator::kSqrt:
+      for (size_t i = 0; i < n; ++i) values[i] = std::sqrt(std::fabs(a[i]));
+      break;
+    case Operator::kReciprocal:
+      for (size_t i = 0; i < n; ++i) {
+        values[i] = a[i] != 0.0 ? 1.0 / a[i] : 0.0;
+      }
+      break;
+    case Operator::kAdd:
+      for (size_t i = 0; i < n; ++i) values[i] = a[i] + b[i];
+      break;
+    case Operator::kSubtract:
+      for (size_t i = 0; i < n; ++i) values[i] = a[i] - b[i];
+      break;
+    case Operator::kMultiply:
+      for (size_t i = 0; i < n; ++i) values[i] = a[i] * b[i];
+      break;
+    case Operator::kDivide:
+      for (size_t i = 0; i < n; ++i) {
+        values[i] = b[i] != 0.0 ? a[i] / b[i] : 0.0;
+      }
+      break;
+    case Operator::kModulo:
+      for (size_t i = 0; i < n; ++i) {
+        values[i] =
+            b[i] != 0.0 ? std::fmod(std::fabs(a[i]), std::fabs(b[i])) : 0.0;
+      }
+      break;
+  }
+  data::Column result(DerivedFeatureName(op, a.name(), b.name()),
+                      std::move(values));
+  // Extreme magnitudes (e.g. reciprocal of ~0) are clipped by replacing
+  // any residual non-finite entries; downstream models need finite inputs.
+  result.ReplaceNonFinite(0.0);
+  return result;
+}
+
+}  // namespace eafe::afe

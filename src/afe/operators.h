@@ -1,0 +1,58 @@
+#ifndef EAFE_AFE_OPERATORS_H_
+#define EAFE_AFE_OPERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "data/column.h"
+
+namespace eafe::afe {
+
+/// The paper's transformation operator set: four unary operators
+/// (logarithm, min-max normalization, square root, reciprocal) and five
+/// binary operators (addition, subtraction, multiplication, division,
+/// modulo). Actions of the RL agents are drawn from this enum.
+enum class Operator {
+  // Unary.
+  kLog = 0,
+  kMinMaxNormalize,
+  kSqrt,
+  kReciprocal,
+  // Binary.
+  kAdd,
+  kSubtract,
+  kMultiply,
+  kDivide,
+  kModulo,
+};
+
+/// Number of operators (the agents' action-space size).
+constexpr size_t kNumOperators = 9;
+constexpr size_t kNumUnaryOperators = 4;
+
+/// True for the four unary operators (feature_1 == feature_2 case).
+bool IsUnary(Operator op);
+
+/// All operators in enum order.
+const std::vector<Operator>& AllOperators();
+
+std::string OperatorToString(Operator op);
+Result<Operator> OperatorFromString(const std::string& name);
+
+/// Human-readable derived-feature name, e.g. "log(f1)" or "(f1/f2)".
+std::string DerivedFeatureName(Operator op, const std::string& a,
+                               const std::string& b);
+
+/// Applies an operator elementwise. Unary operators ignore `b` (pass the
+/// same column). Domain issues are handled totally so outputs are always
+/// finite: log uses log(|x| + 1), sqrt uses sqrt(|x|), reciprocal and
+/// division map a zero denominator to 0, modulo uses fmod(|a|, |b|) with
+/// zero divisor mapping to 0, and min-max of a constant column is 0.
+/// Errors on mismatched lengths or empty inputs.
+Result<data::Column> ApplyOperator(Operator op, const data::Column& a,
+                                   const data::Column& b);
+
+}  // namespace eafe::afe
+
+#endif  // EAFE_AFE_OPERATORS_H_

@@ -1,0 +1,82 @@
+#include "afe/random_search.h"
+
+#include "core/rng.h"
+#include "core/stopwatch.h"
+
+namespace eafe::afe {
+
+RandomSearch::RandomSearch(const SearchOptions& options)
+    : options_(options) {}
+
+Result<SearchResult> RandomSearch::Run(const data::Dataset& dataset) {
+  EAFE_RETURN_NOT_OK(dataset.Validate());
+  Stopwatch total_watch;
+  Rng rng(options_.seed);
+  ml::TaskEvaluator evaluator(options_.evaluator);
+
+  FeatureSpace::Options space_options;
+  space_options.max_order = options_.max_order;
+  space_options.max_generated_per_group = options_.max_generated_per_group;
+  FeatureSpace space(dataset, space_options);
+
+  SearchResult result;
+  result.method = name();
+  Stopwatch eval_watch;
+  EAFE_ASSIGN_OR_RETURN(result.base_score, evaluator.Score(dataset));
+  result.evaluation_seconds += eval_watch.ElapsedSeconds();
+  result.best_score = result.base_score;
+
+  size_t last_improvement_epoch = 0;
+  size_t kept_at_last_improvement = 0;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (size_t group = 0; group < space.num_groups(); ++group) {
+      for (size_t step = 0; step < options_.steps_per_agent; ++step) {
+        Stopwatch gen_watch;
+        const FeatureSpace::Action action =
+            space.SampleRandomAction(group, &rng);
+        auto candidate = space.GenerateCandidate(action);
+        result.generation_seconds += gen_watch.ElapsedSeconds();
+        if (!candidate.ok()) continue;  // Duplicate/over-order/constant.
+        ++result.features_generated;
+
+        eval_watch.Restart();
+        EAFE_ASSIGN_OR_RETURN(
+            double gain, EvaluateCandidateGain(evaluator, space, *candidate,
+                                               result.best_score));
+        result.evaluation_seconds += eval_watch.ElapsedSeconds();
+        ++result.features_evaluated;
+        if (gain > options_.accept_margin) {
+          if (space.Accept(group, std::move(candidate).ValueOrDie()).ok()) {
+            result.best_score += gain;
+            ++result.features_kept;
+          }
+        }
+      }
+    }
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.best_score = result.best_score;
+    stats.elapsed_seconds = total_watch.ElapsedSeconds();
+    stats.cumulative_evaluations = evaluator.evaluation_count();
+    stats.features_generated = result.features_generated;
+    result.curve.push_back(stats);
+    // Early stopping: quit once no feature has been accepted for
+    // `early_stop_patience` consecutive epochs.
+    if (result.features_kept > kept_at_last_improvement) {
+      kept_at_last_improvement = result.features_kept;
+      last_improvement_epoch = epoch;
+    }
+    if (options_.early_stop_patience > 0 &&
+        epoch - last_improvement_epoch >= options_.early_stop_patience) {
+      break;
+    }
+  }
+
+  result.best_dataset = space.ToDataset();
+  result.downstream_evaluations = evaluator.evaluation_count();
+  EAFE_RETURN_NOT_OK(FinalizeSearchResult(options_, dataset, &result));
+  result.total_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace eafe::afe

@@ -1,0 +1,64 @@
+#include "afe/reward.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace eafe::afe {
+
+double FpeShapedScore(double p_ineffective, const FpeRewardOptions& options) {
+  EAFE_CHECK_GE(p_ineffective, 0.0);
+  EAFE_CHECK_LE(p_ineffective, 1.0);
+  const double scaled = (0.5 - p_ineffective) / 0.5;
+  if (p_ineffective < 0.5) {
+    return options.base_score +
+           scaled * (options.delta_max - options.threshold);
+  }
+  return options.base_score +
+         scaled * (options.threshold - options.delta_min);
+}
+
+std::vector<double> DiscountedReturns(const std::vector<double>& rewards,
+                                      double gamma) {
+  EAFE_CHECK_GE(gamma, 0.0);
+  EAFE_CHECK_LE(gamma, 1.0);
+  std::vector<double> returns(rewards.size(), 0.0);
+  double acc = 0.0;
+  for (size_t t = rewards.size(); t-- > 0;) {
+    acc = rewards[t] + gamma * acc;
+    returns[t] = acc;
+  }
+  return returns;
+}
+
+std::vector<double> LambdaReturns(const std::vector<double>& rewards,
+                                  double gamma, double lambda) {
+  EAFE_CHECK_GE(lambda, 0.0);
+  EAFE_CHECK_LE(lambda, 1.0);
+  const size_t T = rewards.size();
+  std::vector<double> returns(T, 0.0);
+  for (size_t t = 0; t < T; ++t) {
+    const size_t horizon = T - t;
+    // n-step reward sums G_t^(n) = sum_{k=0}^{n-1} gamma^k r_{t+k}.
+    double n_step = 0.0;
+    double gamma_pow = 1.0;
+    double lambda_pow = 1.0;  // lambda^{n-1}.
+    double mixed = 0.0;
+    double full_return = 0.0;
+    for (size_t n = 1; n <= horizon; ++n) {
+      n_step += gamma_pow * rewards[t + n - 1];
+      gamma_pow *= gamma;
+      if (n < horizon) {
+        mixed += (1.0 - lambda) * lambda_pow * n_step;
+      } else {
+        full_return = n_step;
+        mixed += lambda_pow * full_return;  // Tail weight on full return.
+      }
+      lambda_pow *= lambda;
+    }
+    returns[t] = mixed;
+  }
+  return returns;
+}
+
+}  // namespace eafe::afe

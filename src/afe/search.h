@@ -1,0 +1,121 @@
+#ifndef EAFE_AFE_SEARCH_H_
+#define EAFE_AFE_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "afe/feature_space.h"
+#include "core/status.h"
+#include "data/dataframe.h"
+#include "ml/evaluator.h"
+
+namespace eafe::afe {
+
+/// Common knobs for every AFE search method, so comparisons run under the
+/// same generation and evaluation budget.
+struct SearchOptions {
+  /// Policy-training epochs (the paper runs 200; the benches default far
+  /// lower and scale up under --full).
+  size_t epochs = 12;
+  /// T: transformation steps each agent takes per epoch.
+  size_t steps_per_agent = 3;
+  /// Maximum transformation order (paper default 5).
+  size_t max_order = 5;
+  /// Cap on accepted generated features per original feature.
+  size_t max_generated_per_group = 6;
+  double gamma = 0.99;   ///< Discount factor of Eq. 9/10.
+  double lambda = 0.8;   ///< Lambda of the Eq. 10 return.
+  double learning_rate = 0.01;
+  size_t agent_hidden_dim = 16;
+  /// Downstream task (the formal evaluation).
+  ml::EvaluatorOptions evaluator;
+  uint64_t seed = 123;
+  /// A candidate is kept only when its evaluation gain exceeds this
+  /// margin. Cross-validated gains carry fold noise; a margin keeps
+  /// noise-only "improvements" out of the state for every method.
+  double accept_margin = 0.005;
+  /// Stop after this many consecutive epochs without an accepted feature
+  /// (0 disables). The paper's complexity analysis compares methods
+  /// "without early stopping"; enabling it shortens saturated runs.
+  size_t early_stop_patience = 0;
+  /// Re-score the final selected feature set (and the base features) with
+  /// a held-out cross-validation seed. The greedy search accumulates
+  /// positive CV-noise deltas — a winner's-curse bias that grows with the
+  /// number of candidate evaluations — so honest final scores are required
+  /// for a fair comparison between methods with different evaluation
+  /// budgets.
+  bool honest_final_score = true;
+};
+
+/// Score/efficiency snapshot at the end of one epoch, for learning curves
+/// (Fig. 7) and time accounting.
+struct EpochStats {
+  size_t epoch = 0;
+  double best_score = 0.0;
+  double elapsed_seconds = 0.0;
+  size_t cumulative_evaluations = 0;
+  size_t features_generated = 0;
+};
+
+/// Outcome of one AFE search run.
+struct SearchResult {
+  std::string method;
+  /// Downstream score of the raw features (held-out CV seed when
+  /// honest_final_score is set).
+  double base_score = 0.0;
+  /// Downstream score of the selected feature set (held-out CV seed when
+  /// honest_final_score is set; otherwise the accumulated greedy score).
+  double best_score = 0.0;
+  /// The accumulated greedy score the search itself optimized (biased
+  /// upward by CV noise; kept for diagnostics).
+  double search_score = 0.0;
+  data::Dataset best_dataset;
+  std::vector<EpochStats> curve;
+  size_t downstream_evaluations = 0;  ///< Candidate evaluations (Table IV).
+  size_t features_generated = 0;
+  size_t features_evaluated = 0;  ///< Candidates sent to the downstream task.
+  size_t features_kept = 0;
+  double generation_seconds = 0.0;
+  double evaluation_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// Interface shared by NFS, AutoFS_R, and the E-AFE variants.
+class FeatureSearch {
+ public:
+  virtual ~FeatureSearch() = default;
+  virtual std::string name() const = 0;
+  /// Runs the full search on a target dataset.
+  virtual Result<SearchResult> Run(const data::Dataset& dataset) = 0;
+};
+
+/// Builds the agent's state vector s_t: one-hot of the previous action
+/// (kNumOperators entries; all zero on the first round), followed by
+/// [normalized subgroup size, last reward, epoch progress]. Total
+/// dimension kNumOperators + 3 — keep RnnAgent::Options::input_dim in
+/// sync.
+std::vector<double> BuildAgentState(int last_action, double last_reward,
+                                    size_t group_size, double progress);
+
+/// Agent-state dimension (see BuildAgentState).
+constexpr size_t kAgentStateDim = kNumOperators + 3;
+
+/// Greedy candidate evaluation shared by all searches: scores the current
+/// state plus `candidate` on the downstream task and reports the gain
+/// over `current_score`. Exactly one evaluator Score() call.
+Result<double> EvaluateCandidateGain(const ml::TaskEvaluator& evaluator,
+                                     const FeatureSpace& space,
+                                     const SpaceFeature& candidate,
+                                     double current_score);
+
+/// Applies the honest-final-score protocol: moves the accumulated greedy
+/// score into `result->search_score` and replaces base/best scores with
+/// held-out-seed evaluations of the raw and selected feature sets. No-op
+/// when options.honest_final_score is false.
+Status FinalizeSearchResult(const SearchOptions& options,
+                            const data::Dataset& base_dataset,
+                            SearchResult* result);
+
+}  // namespace eafe::afe
+
+#endif  // EAFE_AFE_SEARCH_H_

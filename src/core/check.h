@@ -1,0 +1,36 @@
+#ifndef EAFE_CORE_CHECK_H_
+#define EAFE_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant checks for programming errors (not data errors — those use
+/// Status). Enabled in all build types: the cost is negligible next to the
+/// model-training work this library does, and silent corruption in a
+/// feature-engineering pipeline is far costlier than a branch.
+#define EAFE_CHECK(condition)                                            \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::fprintf(stderr, "EAFE_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #condition);                                \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#define EAFE_CHECK_MSG(condition, msg)                                      \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "EAFE_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #condition, msg);                    \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#define EAFE_CHECK_EQ(a, b) EAFE_CHECK((a) == (b))
+#define EAFE_CHECK_NE(a, b) EAFE_CHECK((a) != (b))
+#define EAFE_CHECK_LT(a, b) EAFE_CHECK((a) < (b))
+#define EAFE_CHECK_LE(a, b) EAFE_CHECK((a) <= (b))
+#define EAFE_CHECK_GT(a, b) EAFE_CHECK((a) > (b))
+#define EAFE_CHECK_GE(a, b) EAFE_CHECK((a) >= (b))
+
+#endif  // EAFE_CORE_CHECK_H_

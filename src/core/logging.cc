@@ -1,0 +1,67 @@
+#include "core/logging.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace eafe {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void LogV(LogLevel level, const char* format, va_list args) {
+  if (static_cast<int>(level) < g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr, "[%s] ", LevelName(level));
+  std::vfprintf(stderr, format, args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+#define EAFE_DEFINE_LOG_FN(Name, Level)      \
+  void Name(const char* format, ...) {       \
+    va_list args;                            \
+    va_start(args, format);                  \
+    LogV(Level, format, args);               \
+    va_end(args);                            \
+  }
+
+EAFE_DEFINE_LOG_FN(LogDebug, LogLevel::kDebug)
+EAFE_DEFINE_LOG_FN(LogInfo, LogLevel::kInfo)
+EAFE_DEFINE_LOG_FN(LogWarning, LogLevel::kWarning)
+EAFE_DEFINE_LOG_FN(LogError, LogLevel::kError)
+
+#undef EAFE_DEFINE_LOG_FN
+
+}  // namespace eafe

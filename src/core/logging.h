@@ -1,0 +1,25 @@
+#ifndef EAFE_CORE_LOGGING_H_
+#define EAFE_CORE_LOGGING_H_
+
+#include <string>
+
+namespace eafe {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes "[LEVEL] message\n" to stderr if `level` passes the filter.
+void Log(LogLevel level, const std::string& message);
+
+/// printf-style logging helpers.
+void LogDebug(const char* format, ...) __attribute__((format(printf, 1, 2)));
+void LogInfo(const char* format, ...) __attribute__((format(printf, 1, 2)));
+void LogWarning(const char* format, ...) __attribute__((format(printf, 1, 2)));
+void LogError(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace eafe
+
+#endif  // EAFE_CORE_LOGGING_H_

@@ -1,0 +1,163 @@
+#include "core/matrix.h"
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace eafe {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    EAFE_CHECK_EQ(rows[r].size(), m.cols_);
+    for (size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::RandomNormal(size_t rows, size_t cols, double stddev,
+                            Rng* rng) {
+  Matrix m(rows, cols);
+  for (double& x : m.data_) x = rng->Normal(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  EAFE_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = other.row(k);
+      double* orow = out.row(i);
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MultiplyVector(
+    const std::vector<double>& v) const {
+  EAFE_CHECK_EQ(cols_, v.size());
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* rp = row(r);
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) sum += rp[c] * v[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  EAFE_CHECK_EQ(rows_, other.rows_);
+  EAFE_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Subtract(const Matrix& other) const {
+  EAFE_CHECK_EQ(rows_, other.rows_);
+  EAFE_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Hadamard(const Matrix& other) const {
+  EAFE_CHECK_EQ(rows_, other.rows_);
+  EAFE_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scale(double factor) const {
+  Matrix out = *this;
+  for (double& x : out.data_) x *= factor;
+  return out;
+}
+
+void Matrix::AddInPlace(const Matrix& other, double alpha) {
+  EAFE_CHECK_EQ(rows_, other.rows_);
+  EAFE_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+double Matrix::SquaredNorm() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x * x;
+  return sum;
+}
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::FailedPrecondition(
+          "matrix is not positive definite (pivot <= 0)");
+    }
+    l(j, j) = std::sqrt(diag);
+    for (size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / l(j, j);
+    }
+  }
+  return l;
+}
+
+std::vector<double> CholeskySolve(const Matrix& l,
+                                  const std::vector<double>& b) {
+  const size_t n = l.rows();
+  EAFE_CHECK_EQ(n, b.size());
+  // Forward: L y = b.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  // Backward: L^T x = y.
+  std::vector<double> x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x[k];
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  EAFE_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace eafe

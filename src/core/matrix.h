@@ -1,0 +1,102 @@
+#ifndef EAFE_CORE_MATRIX_H_
+#define EAFE_CORE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/check.h"
+#include "core/status.h"
+
+namespace eafe {
+
+class Rng;
+
+/// Dense row-major matrix of doubles. Deliberately minimal: just what the
+/// neural policies, MLPs, and Gaussian-process solver need. Heavy linear
+/// algebra is out of scope; sizes in this library are small (hundreds).
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer-style data; all rows must be equal
+  /// length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  /// Matrix with i.i.d. Normal(0, stddev) entries.
+  static Matrix RandomNormal(size_t rows, size_t cols, double stddev,
+                             Rng* rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& operator()(size_t r, size_t c) {
+    EAFE_CHECK_LT(r, rows_);
+    EAFE_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    EAFE_CHECK_LT(r, rows_);
+    EAFE_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Pointer to the start of row r.
+  const double* row(size_t r) const { return data_.data() + r * cols_; }
+  double* row(size_t r) { return data_.data() + r * cols_; }
+
+  Matrix Transpose() const;
+
+  /// this * other. Dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// this * v for a column vector v (v.size() == cols()).
+  std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+
+  /// Elementwise operations (shapes must match).
+  Matrix Add(const Matrix& other) const;
+  Matrix Subtract(const Matrix& other) const;
+  Matrix Hadamard(const Matrix& other) const;
+  Matrix Scale(double factor) const;
+
+  /// In-place axpy: this += alpha * other.
+  void AddInPlace(const Matrix& other, double alpha = 1.0);
+
+  /// Frobenius norm squared.
+  double SquaredNorm() const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Cholesky factorization A = L L^T for a symmetric positive-definite A.
+/// Returns the lower-triangular L, or FailedPrecondition if A is not SPD
+/// (within jitter tolerance).
+Result<Matrix> Cholesky(const Matrix& a);
+
+/// Solves A x = b given the Cholesky factor L of A (forward + backward
+/// substitution).
+std::vector<double> CholeskySolve(const Matrix& l,
+                                  const std::vector<double>& b);
+
+/// Dot product; sizes must match.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace eafe
+
+#endif  // EAFE_CORE_MATRIX_H_

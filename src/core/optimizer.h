@@ -1,0 +1,74 @@
+#ifndef EAFE_CORE_OPTIMIZER_H_
+#define EAFE_CORE_OPTIMIZER_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "core/check.h"
+
+namespace eafe {
+
+/// Adam optimizer state over a flat parameter vector (Kingma & Ba, 2014).
+/// The paper trains both the RNN agents and the FPE classifier with Adam;
+/// this single implementation serves the MLP, ResNet, linear models, and
+/// policy networks.
+class Adam {
+ public:
+  struct Options {
+    double learning_rate = 0.01;  ///< Paper's default for the RL framework.
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double weight_decay = 0.0;  ///< Decoupled L2 (AdamW-style).
+  };
+
+  Adam() : Adam(Options{}) {}
+  explicit Adam(const Options& options) : options_(options) {}
+
+  const Options& options() const { return options_; }
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
+  /// Applies one update: params -= lr * m_hat / (sqrt(v_hat) + eps).
+  /// `params` and `grads` must be the same size across calls.
+  void Step(std::vector<double>* params, const std::vector<double>& grads) {
+    EAFE_CHECK_EQ(params->size(), grads.size());
+    if (m_.size() != params->size()) {
+      m_.assign(params->size(), 0.0);
+      v_.assign(params->size(), 0.0);
+      t_ = 0;
+    }
+    ++t_;
+    const double bias1 = 1.0 - std::pow(options_.beta1, t_);
+    const double bias2 = 1.0 - std::pow(options_.beta2, t_);
+    for (size_t i = 0; i < params->size(); ++i) {
+      double g = grads[i];
+      m_[i] = options_.beta1 * m_[i] + (1.0 - options_.beta1) * g;
+      v_[i] = options_.beta2 * v_[i] + (1.0 - options_.beta2) * g * g;
+      const double m_hat = m_[i] / bias1;
+      const double v_hat = v_[i] / bias2;
+      (*params)[i] -=
+          options_.learning_rate *
+          (m_hat / (std::sqrt(v_hat) + options_.epsilon) +
+           options_.weight_decay * (*params)[i]);
+    }
+  }
+
+  void Reset() {
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+  }
+
+  int64_t step_count() const { return t_; }
+
+ private:
+  Options options_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+  int64_t t_ = 0;
+};
+
+}  // namespace eafe
+
+#endif  // EAFE_CORE_OPTIMIZER_H_

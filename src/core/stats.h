@@ -1,0 +1,66 @@
+#ifndef EAFE_CORE_STATS_H_
+#define EAFE_CORE_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/status.h"
+
+namespace eafe::stats {
+
+/// Arithmetic mean; 0.0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Sample variance (divides by n-1); 0.0 for fewer than two values.
+double Variance(const std::vector<double>& values);
+
+/// Sample standard deviation.
+double StdDev(const std::vector<double>& values);
+
+/// Median (averages the two central elements for even sizes).
+double Median(std::vector<double> values);
+
+/// Pearson correlation coefficient; 0.0 when either side is constant.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Standard normal CDF.
+double NormalCdf(double z);
+
+/// CDF of Student's t distribution with `df` degrees of freedom,
+/// via the regularized incomplete beta function.
+double StudentTCdf(double t, double df);
+
+/// Regularized incomplete beta function I_x(a, b) by continued fraction.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+struct TestResult {
+  double statistic = 0.0;
+  double p_value = 1.0;  ///< One-sided p-value (alternative: b > a).
+};
+
+/// Paired one-sided t-test for mean(b - a) > 0. Requires equal sizes >= 2.
+Result<TestResult> PairedTTest(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+/// Wilcoxon signed-rank test (normal approximation, one-sided, alternative
+/// b > a). Zero differences are discarded; ties share average ranks.
+Result<TestResult> WilcoxonSignedRank(const std::vector<double>& a,
+                                      const std::vector<double>& b);
+
+/// Binary-classification counting metrics over {0,1} labels.
+struct BinaryCounts {
+  size_t tp = 0, fp = 0, tn = 0, fn = 0;
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+  double Accuracy() const;
+};
+
+/// Tallies counts; inputs must be the same size with entries in {0,1}.
+BinaryCounts CountBinary(const std::vector<int>& truth,
+                         const std::vector<int>& predicted);
+
+}  // namespace eafe::stats
+
+#endif  // EAFE_CORE_STATS_H_

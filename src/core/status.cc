@@ -1,0 +1,49 @@
+#include "core/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace eafe {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result(StatusCodeToString(code_));
+  result += ": ";
+  result += message_;
+  return result;
+}
+
+namespace internal {
+
+void DieWithStatus(const Status& status) {
+  std::fprintf(stderr, "Fatal: ValueOrDie on error status: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace eafe

@@ -1,0 +1,169 @@
+#ifndef EAFE_CORE_STATUS_H_
+#define EAFE_CORE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace eafe {
+
+/// Error categories used across the library. Mirrors the minimal set a
+/// data-engineering library needs; extend sparingly.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIoError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g., "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome for fallible operations. The public API of
+/// this library does not throw; functions that can fail return `Status`
+/// (or `Result<T>` when they also produce a value).
+///
+/// Usage:
+///   Status s = frame.AddColumn(...);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`. Modeled after
+/// arrow::Result; keeps call sites exception-free.
+///
+/// Usage:
+///   Result<DataFrame> r = ReadCsv(path);
+///   if (!r.ok()) return r.status();
+///   DataFrame df = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in functions returning
+  /// Result<T>.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::...;`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; OK if this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// The contained value. Terminates the process if this holds an error —
+  /// call `ok()` first, or use ValueOr().
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(payload_);
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(payload_));
+  }
+
+  /// The contained value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(payload_);
+    return fallback;
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const;
+
+  std::variant<T, Status> payload_;
+};
+
+namespace internal {
+/// Prints the message and aborts. Out-of-line so Result stays light.
+[[noreturn]] void DieWithStatus(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::DieIfError() const {
+  if (!ok()) internal::DieWithStatus(std::get<Status>(payload_));
+}
+
+/// Propagates an error status from an expression returning Status.
+#define EAFE_RETURN_NOT_OK(expr)                    \
+  do {                                              \
+    ::eafe::Status _eafe_status = (expr);           \
+    if (!_eafe_status.ok()) return _eafe_status;    \
+  } while (false)
+
+/// Assigns the value of a Result expression or propagates its error.
+///   EAFE_ASSIGN_OR_RETURN(auto df, ReadCsv(path));
+#define EAFE_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                               \
+  if (!result_name.ok()) return result_name.status();       \
+  lhs = std::move(result_name).ValueOrDie()
+#define EAFE_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define EAFE_ASSIGN_OR_RETURN_NAME(x, y) EAFE_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define EAFE_ASSIGN_OR_RETURN(lhs, rexpr)                                    \
+  EAFE_ASSIGN_OR_RETURN_IMPL(                                                \
+      EAFE_ASSIGN_OR_RETURN_NAME(_eafe_result_, __LINE__), lhs, rexpr)
+
+}  // namespace eafe
+
+#endif  // EAFE_CORE_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef EAFE_CORE_STOPWATCH_H_
+#define EAFE_CORE_STOPWATCH_H_
+
+#include <chrono>
+
+namespace eafe {
+
+/// Monotonic wall-clock timer for the experiment harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace eafe
+
+#endif  // EAFE_CORE_STOPWATCH_H_

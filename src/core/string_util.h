@@ -1,0 +1,40 @@
+#ifndef EAFE_CORE_STRING_UTIL_H_
+#define EAFE_CORE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace eafe {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins parts with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Strict double parse of the full token; error on trailing garbage.
+Result<double> ParseDouble(std::string_view token);
+
+/// Strict integer parse of the full token.
+Result<int64_t> ParseInt(std::string_view token);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Lowercases ASCII.
+std::string ToLower(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace eafe
+
+#endif  // EAFE_CORE_STRING_UTIL_H_

@@ -1,0 +1,37 @@
+#ifndef EAFE_CORE_TABLE_PRINTER_H_
+#define EAFE_CORE_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace eafe {
+
+/// Renders aligned plain-text tables, used by the experiment harnesses to
+/// print paper-style tables (Table I, III, IV, ...).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles to `precision` decimals.
+  static std::string Num(double value, int precision = 3);
+
+  /// The rendered table (header, separator, rows).
+  std::string ToString() const;
+
+  /// Writes the rendered table to `out` (default stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eafe
+
+#endif  // EAFE_CORE_TABLE_PRINTER_H_

@@ -1,0 +1,229 @@
+#include "data/arff.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "core/string_util.h"
+
+namespace eafe::data {
+namespace {
+
+struct Attribute {
+  std::string name;
+  bool nominal = false;
+  std::vector<std::string> categories;  // Nominal only, declaration order.
+};
+
+/// Strips surrounding single or double quotes.
+std::string_view Unquote(std::string_view token) {
+  if (token.size() >= 2 &&
+      ((token.front() == '\'' && token.back() == '\'') ||
+       (token.front() == '"' && token.back() == '"'))) {
+    return token.substr(1, token.size() - 2);
+  }
+  return token;
+}
+
+/// Parses one @attribute line (after the keyword): name + type.
+Result<Attribute> ParseAttribute(std::string_view rest) {
+  rest = Trim(rest);
+  if (rest.empty()) {
+    return Status::InvalidArgument("@attribute needs a name and type");
+  }
+  // Name may be quoted (possibly containing spaces).
+  size_t name_end;
+  if (rest.front() == '\'' || rest.front() == '"') {
+    const char quote = rest.front();
+    name_end = rest.find(quote, 1);
+    if (name_end == std::string_view::npos) {
+      return Status::InvalidArgument("unterminated quoted attribute name");
+    }
+    ++name_end;
+  } else {
+    name_end = rest.find_first_of(" \t");
+    if (name_end == std::string_view::npos) {
+      return Status::InvalidArgument("@attribute missing a type");
+    }
+  }
+  Attribute attribute;
+  attribute.name = std::string(Unquote(rest.substr(0, name_end)));
+  const std::string_view type = Trim(rest.substr(name_end));
+  if (type.empty()) {
+    return Status::InvalidArgument("@attribute missing a type");
+  }
+  if (type.front() == '{') {
+    if (type.back() != '}') {
+      return Status::InvalidArgument("unterminated nominal specification");
+    }
+    attribute.nominal = true;
+    for (const std::string& category :
+         Split(type.substr(1, type.size() - 2), ',')) {
+      attribute.categories.emplace_back(Unquote(Trim(category)));
+    }
+    if (attribute.categories.empty()) {
+      return Status::InvalidArgument("nominal attribute with no categories");
+    }
+    return attribute;
+  }
+  const std::string lower = ToLower(type);
+  if (lower == "numeric" || lower == "real" || lower == "integer") {
+    return attribute;
+  }
+  return Status::NotImplemented("unsupported ARFF attribute type: " +
+                                std::string(type));
+}
+
+/// Splits a @data row on commas, respecting quotes.
+std::vector<std::string> SplitDataRow(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  char quote = 0;
+  for (char c : line) {
+    if (quote != 0) {
+      if (c == quote) {
+        quote = 0;
+      } else {
+        current += c;
+      }
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(current);
+      current.clear();
+      continue;
+    }
+    current += c;
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+}  // namespace
+
+Result<DataFrame> ParseArff(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::vector<Attribute> attributes;
+  std::vector<std::vector<double>> columns;
+  bool in_data = false;
+  size_t line_number = 0;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '%') continue;
+
+    if (!in_data) {
+      const std::string lower = ToLower(trimmed.substr(
+          0, std::min<size_t>(trimmed.size(), 10)));
+      if (StartsWith(lower, "@relation")) continue;
+      if (StartsWith(lower, "@attribute")) {
+        EAFE_ASSIGN_OR_RETURN(Attribute attribute,
+                              ParseAttribute(trimmed.substr(10)));
+        attributes.push_back(std::move(attribute));
+        continue;
+      }
+      if (StartsWith(lower, "@data")) {
+        if (attributes.empty()) {
+          return Status::InvalidArgument("@data before any @attribute");
+        }
+        columns.resize(attributes.size());
+        in_data = true;
+        continue;
+      }
+      return Status::InvalidArgument(
+          StrFormat("line %zu: unexpected header line", line_number));
+    }
+
+    if (trimmed.front() == '{') {
+      return Status::NotImplemented("sparse ARFF rows are not supported");
+    }
+    const std::vector<std::string> fields = SplitDataRow(trimmed);
+    if (fields.size() != attributes.size()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: %zu fields for %zu attributes", line_number,
+                    fields.size(), attributes.size()));
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      const std::string_view value = Trim(fields[i]);
+      if (value == "?") {
+        columns[i].push_back(std::numeric_limits<double>::quiet_NaN());
+        continue;
+      }
+      if (attributes[i].nominal) {
+        const std::string needle(Unquote(value));
+        size_t index = attributes[i].categories.size();
+        for (size_t c = 0; c < attributes[i].categories.size(); ++c) {
+          if (attributes[i].categories[c] == needle) {
+            index = c;
+            break;
+          }
+        }
+        if (index == attributes[i].categories.size()) {
+          return Status::InvalidArgument(
+              StrFormat("line %zu: '%s' is not a category of %s",
+                        line_number, needle.c_str(),
+                        attributes[i].name.c_str()));
+        }
+        columns[i].push_back(static_cast<double>(index));
+      } else {
+        EAFE_ASSIGN_OR_RETURN(double numeric, ParseDouble(value));
+        columns[i].push_back(numeric);
+      }
+    }
+  }
+  if (!in_data) {
+    return Status::InvalidArgument("ARFF input has no @data section");
+  }
+
+  DataFrame frame;
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    EAFE_RETURN_NOT_OK(frame.AddColumn(
+        Column(attributes[i].name, std::move(columns[i]))));
+  }
+  return frame;
+}
+
+Result<DataFrame> ReadArff(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseArff(buffer.str());
+}
+
+Result<Dataset> ReadArffDataset(const std::string& path,
+                                const std::string& label_attribute,
+                                TaskType task) {
+  EAFE_ASSIGN_OR_RETURN(DataFrame frame, ReadArff(path));
+  const std::string needle = ToLower(label_attribute);
+  size_t label_index = frame.num_columns();
+  for (size_t c = 0; c < frame.num_columns(); ++c) {
+    if (ToLower(frame.column(c).name()) == needle) {
+      label_index = c;
+      break;
+    }
+  }
+  if (label_index == frame.num_columns()) {
+    return Status::NotFound("no attribute named '" + label_attribute + "'");
+  }
+  Dataset dataset;
+  dataset.name = path;
+  dataset.task = task;
+  dataset.labels = frame.column(label_index).values();
+  EAFE_RETURN_NOT_OK(frame.DropColumn(label_index));
+  dataset.features = std::move(frame);
+  EAFE_RETURN_NOT_OK(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace eafe::data

@@ -1,0 +1,41 @@
+#ifndef EAFE_DATA_ARFF_H_
+#define EAFE_DATA_ARFF_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "data/dataframe.h"
+
+namespace eafe::data {
+
+/// Minimal ARFF (Attribute-Relation File Format) reader — the format
+/// OpenML serves its datasets in, i.e. the native form of the paper's 239
+/// pre-training and 36 target datasets.
+///
+/// Supported subset:
+///  * `@relation`, `@attribute`, `@data` sections (case-insensitive);
+///  * NUMERIC / REAL / INTEGER attributes, read as doubles;
+///  * nominal attributes (`{a,b,c}`), encoded as the category's index in
+///    declaration order;
+///  * `%` comment lines, `?` missing values (NaN), quoted nominal values.
+/// Sparse rows (`{i v, ...}`) and STRING/DATE attributes are rejected
+/// with NotImplemented.
+
+/// Parses ARFF text into a DataFrame (one column per attribute, nominal
+/// values encoded as indices).
+Result<DataFrame> ParseArff(const std::string& text);
+
+/// Reads an ARFF file from disk.
+Result<DataFrame> ReadArff(const std::string& path);
+
+/// Reads an ARFF file and splits off `label_attribute` (matched
+/// case-insensitively) as the dataset labels. For classification tasks
+/// the label is typically a nominal attribute, which arrives as class
+/// indices — exactly the Dataset convention.
+Result<Dataset> ReadArffDataset(const std::string& path,
+                                const std::string& label_attribute,
+                                TaskType task);
+
+}  // namespace eafe::data
+
+#endif  // EAFE_DATA_ARFF_H_

@@ -1,0 +1,127 @@
+#include "data/csv.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "core/string_util.h"
+
+namespace eafe::data {
+namespace {
+
+Result<DataFrame> ParseLines(std::istream& in, const CsvOptions& options) {
+  std::string line;
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> column_values;
+  size_t line_number = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (Trim(line).empty()) continue;
+    const std::vector<std::string> fields = Split(line, options.delimiter);
+    if (options.has_header && !saw_header) {
+      for (const std::string& f : fields) names.emplace_back(Trim(f));
+      column_values.resize(fields.size());
+      saw_header = true;
+      continue;
+    }
+    if (names.empty() && column_values.empty()) {
+      column_values.resize(fields.size());
+      for (size_t i = 0; i < fields.size(); ++i) {
+        names.push_back(StrFormat("f%zu", i));
+      }
+    }
+    if (fields.size() != column_values.size()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu has %zu fields, expected %zu", line_number,
+                    fields.size(), column_values.size()));
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      const std::string_view trimmed = Trim(fields[i]);
+      if (trimmed.empty()) {
+        column_values[i].push_back(std::numeric_limits<double>::quiet_NaN());
+        continue;
+      }
+      auto value = ParseDouble(trimmed);
+      if (!value.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu column %zu: %s", line_number, i,
+                      value.status().message().c_str()));
+      }
+      column_values[i].push_back(*value);
+    }
+  }
+  DataFrame frame;
+  for (size_t i = 0; i < column_values.size(); ++i) {
+    EAFE_RETURN_NOT_OK(
+        frame.AddColumn(Column(names[i], std::move(column_values[i]))));
+  }
+  return frame;
+}
+
+}  // namespace
+
+Result<DataFrame> ReadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  return ParseLines(in, options);
+}
+
+Result<DataFrame> ParseCsv(const std::string& text,
+                           const CsvOptions& options) {
+  std::istringstream in(text);
+  return ParseLines(in, options);
+}
+
+Status WriteCsv(const DataFrame& frame, const std::string& path,
+                const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  const size_t cols = frame.num_columns();
+  for (size_t c = 0; c < cols; ++c) {
+    if (c > 0) out << options.delimiter;
+    out << frame.column(c).name();
+  }
+  out << "\n";
+  for (size_t r = 0; r < frame.num_rows(); ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c > 0) out << options.delimiter;
+      const double v = frame.column(c)[r];
+      if (std::isnan(v)) {
+        // "nan" parses back to NaN; an empty field would be ambiguous
+        // with a blank (skipped) line for single-column frames.
+        out << "nan";
+      } else {
+        out << StrFormat("%.17g", v);
+      }
+    }
+    out << "\n";
+  }
+  if (!out.good()) {
+    return Status::IoError("error while writing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<Dataset> ReadCsvDataset(const std::string& path,
+                               const std::string& label_column, TaskType task,
+                               const CsvOptions& options) {
+  EAFE_ASSIGN_OR_RETURN(DataFrame frame, ReadCsv(path, options));
+  EAFE_ASSIGN_OR_RETURN(size_t label_index, frame.ColumnIndex(label_column));
+  Dataset dataset;
+  dataset.name = path;
+  dataset.task = task;
+  dataset.labels = frame.column(label_index).values();
+  EAFE_RETURN_NOT_OK(frame.DropColumn(label_index));
+  dataset.features = std::move(frame);
+  EAFE_RETURN_NOT_OK(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace eafe::data

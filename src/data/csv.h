@@ -1,0 +1,39 @@
+#ifndef EAFE_DATA_CSV_H_
+#define EAFE_DATA_CSV_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "data/dataframe.h"
+
+namespace eafe::data {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// When true, the first row provides column names; otherwise names are
+  /// generated as f0, f1, ...
+  bool has_header = true;
+};
+
+/// Reads a numeric CSV into a DataFrame. All fields must parse as doubles
+/// (empty fields become NaN, which callers can clean with
+/// Column::ReplaceNonFinite). Rows with mismatched arity are an error.
+Result<DataFrame> ReadCsv(const std::string& path,
+                          const CsvOptions& options = {});
+
+/// Parses CSV text already in memory (used by tests and embedded data).
+Result<DataFrame> ParseCsv(const std::string& text,
+                           const CsvOptions& options = {});
+
+/// Writes a DataFrame as CSV with a header row.
+Status WriteCsv(const DataFrame& frame, const std::string& path,
+                const CsvOptions& options = {});
+
+/// Reads a CSV and splits off `label_column` as the dataset labels.
+Result<Dataset> ReadCsvDataset(const std::string& path,
+                               const std::string& label_column, TaskType task,
+                               const CsvOptions& options = {});
+
+}  // namespace eafe::data
+
+#endif  // EAFE_DATA_CSV_H_

@@ -1,0 +1,139 @@
+#include "data/meta_features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "core/check.h"
+
+namespace eafe::data {
+
+const std::vector<std::string>& MetaFeatureNames() {
+  static const auto* kNames = new std::vector<std::string>{
+      "mean_standardized_abs",  // |mean| / (sd + eps): location vs spread.
+      "coef_of_variation",      // sd / (|mean| + eps), clipped.
+      "skewness",
+      "kurtosis_excess",
+      "min_z",                  // Standardized minimum.
+      "max_z",                  // Standardized maximum.
+      "median_z",               // Standardized median.
+      "iqr_over_range",
+      "unique_ratio",
+      "zero_ratio",
+      "negative_ratio",
+      "outlier_ratio_3sd",
+      "entropy_10bin",          // Normalized histogram entropy.
+      "top_bin_mass",           // Mass of the fullest of 10 bins.
+      "tail_mass_ratio",        // Mass beyond 2 sd.
+      "integer_ratio",          // Fraction of integer-valued entries.
+  };
+  return *kNames;
+}
+
+Result<std::vector<double>> ComputeMetaFeatures(
+    const std::vector<double>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot describe an empty feature");
+  }
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "feature contains non-finite values; clean before describing");
+    }
+  }
+  const double n = static_cast<double>(values.size());
+  constexpr double kEps = 1e-12;
+
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= n;
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= n;
+  m3 /= n;
+  m4 /= n;
+  const double sd = std::sqrt(std::max(m2, 0.0));
+  const double skew = sd > kEps ? m3 / (sd * sd * sd) : 0.0;
+  const double kurt = m2 > kEps ? m4 / (m2 * m2) - 3.0 : 0.0;
+
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double lo = sorted.front();
+  const double hi = sorted.back();
+  const double range = hi - lo;
+  auto quantile = [&](double q) {
+    const double pos = q * (n - 1.0);
+    const size_t i = static_cast<size_t>(pos);
+    const double frac = pos - static_cast<double>(i);
+    if (i + 1 >= sorted.size()) return sorted.back();
+    return sorted[i] * (1.0 - frac) + sorted[i + 1] * frac;
+  };
+  const double median = quantile(0.5);
+  const double iqr = quantile(0.75) - quantile(0.25);
+
+  size_t zeros = 0, negatives = 0, outliers = 0, integers = 0, tail = 0;
+  for (double v : values) {
+    zeros += v == 0.0;
+    negatives += v < 0.0;
+    integers += v == std::floor(v);
+    if (sd > kEps) {
+      const double z = std::fabs(v - mean) / sd;
+      outliers += z > 3.0;
+      tail += z > 2.0;
+    }
+  }
+  std::unordered_set<double> distinct(values.begin(), values.end());
+
+  // 10-bin histogram entropy over the value range.
+  double entropy = 0.0;
+  double top_bin = 0.0;
+  if (range > kEps) {
+    size_t counts[10] = {0};
+    for (double v : values) {
+      size_t bin = static_cast<size_t>((v - lo) / range * 10.0);
+      if (bin >= 10) bin = 9;
+      ++counts[bin];
+    }
+    for (size_t bin = 0; bin < 10; ++bin) {
+      const double p = static_cast<double>(counts[bin]) / n;
+      top_bin = std::max(top_bin, p);
+      if (p > 0.0) entropy -= p * std::log(p);
+    }
+    entropy /= std::log(10.0);  // Normalize to [0, 1].
+  } else {
+    top_bin = 1.0;
+  }
+
+  // Heavy-tailed inputs can produce extreme skew/kurtosis; clip to keep
+  // the vector classifier-friendly.
+  auto clip = [](double v, double bound) {
+    return std::clamp(v, -bound, bound);
+  };
+  std::vector<double> out = {
+      clip(std::fabs(mean) / (sd + kEps), 100.0),
+      clip(sd / (std::fabs(mean) + kEps), 100.0),
+      clip(skew, 50.0),
+      clip(kurt, 500.0),
+      sd > kEps ? clip((lo - mean) / sd, 100.0) : 0.0,
+      sd > kEps ? clip((hi - mean) / sd, 100.0) : 0.0,
+      sd > kEps ? clip((median - mean) / sd, 100.0) : 0.0,
+      range > kEps ? iqr / range : 0.0,
+      static_cast<double>(distinct.size()) / n,
+      static_cast<double>(zeros) / n,
+      static_cast<double>(negatives) / n,
+      static_cast<double>(outliers) / n,
+      entropy,
+      top_bin,
+      static_cast<double>(tail) / n,
+      static_cast<double>(integers) / n,
+  };
+  EAFE_CHECK_EQ(out.size(), kNumMetaFeatures);
+  return out;
+}
+
+}  // namespace eafe::data

@@ -1,0 +1,33 @@
+#ifndef EAFE_DATA_META_FEATURES_H_
+#define EAFE_DATA_META_FEATURES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace eafe::data {
+
+/// Number of statistical meta-features computed per feature column.
+constexpr size_t kNumMetaFeatures = 16;
+
+/// Names of the meta-features, index-aligned with ComputeMetaFeatures.
+const std::vector<std::string>& MetaFeatureNames();
+
+/// Fixed-size statistical description of a feature column — the
+/// "hand-crafted meta-feature" representation of the related work
+/// (ExploreKit, LFE, auto-sklearn), provided as an alternative /
+/// companion input to the MinHash signature for the FPE classifier.
+///
+/// All statistics are computed on the raw values and are scale-aware
+/// where that is meaningful (moments of the standardized values, ratios
+/// otherwise), so the vector is comparable across features of different
+/// units. Values are always finite; degenerate inputs (constant columns)
+/// produce well-defined zeros. Errors on empty or non-finite input.
+Result<std::vector<double>> ComputeMetaFeatures(
+    const std::vector<double>& values);
+
+}  // namespace eafe::data
+
+#endif  // EAFE_DATA_META_FEATURES_H_

@@ -1,0 +1,102 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace eafe::data {
+
+Result<TrainTestIndices> TrainTestSplitIndices(size_t n, double test_fraction,
+                                               Rng* rng) {
+  if (n < 2) return Status::InvalidArgument("need at least 2 rows to split");
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    return Status::InvalidArgument("test_fraction must be in (0, 1)");
+  }
+  std::vector<size_t> perm = rng->Permutation(n);
+  size_t test_size = static_cast<size_t>(
+      std::round(static_cast<double>(n) * test_fraction));
+  test_size = std::clamp<size_t>(test_size, 1, n - 1);
+  TrainTestIndices out;
+  out.test.assign(perm.begin(), perm.begin() + static_cast<ptrdiff_t>(
+                                                   test_size));
+  out.train.assign(perm.begin() + static_cast<ptrdiff_t>(test_size),
+                   perm.end());
+  return out;
+}
+
+Result<TrainTestDatasets> TrainTestSplit(const Dataset& dataset,
+                                         double test_fraction, Rng* rng) {
+  EAFE_ASSIGN_OR_RETURN(
+      TrainTestIndices indices,
+      TrainTestSplitIndices(dataset.num_rows(), test_fraction, rng));
+  TrainTestDatasets out;
+  out.train = dataset.SelectRows(indices.train);
+  out.test = dataset.SelectRows(indices.test);
+  return out;
+}
+
+Result<std::vector<Fold>> KFoldIndices(size_t n, size_t k, Rng* rng) {
+  if (k < 2) return Status::InvalidArgument("k must be >= 2");
+  if (k > n) {
+    return Status::InvalidArgument(
+        StrFormat("k (%zu) exceeds sample count (%zu)", k, n));
+  }
+  const std::vector<size_t> perm = rng->Permutation(n);
+  std::vector<Fold> folds(k);
+  for (size_t i = 0; i < n; ++i) {
+    folds[i % k].test.push_back(perm[i]);
+  }
+  for (size_t f = 0; f < k; ++f) {
+    for (size_t g = 0; g < k; ++g) {
+      if (g == f) continue;
+      folds[f].train.insert(folds[f].train.end(), folds[g].test.begin(),
+                            folds[g].test.end());
+    }
+  }
+  return folds;
+}
+
+Result<std::vector<Fold>> StratifiedKFoldIndices(
+    const std::vector<double>& labels, size_t k, Rng* rng) {
+  const size_t n = labels.size();
+  if (k < 2) return Status::InvalidArgument("k must be >= 2");
+  if (k > n) {
+    return Status::InvalidArgument(
+        StrFormat("k (%zu) exceeds sample count (%zu)", k, n));
+  }
+  std::map<int, std::vector<size_t>> by_class;
+  for (size_t i = 0; i < n; ++i) {
+    by_class[static_cast<int>(labels[i])].push_back(i);
+  }
+  std::vector<Fold> folds(k);
+  // Deal each class's (shuffled) samples round-robin across folds, rotating
+  // the starting fold so small classes do not all land in fold 0.
+  size_t start_fold = 0;
+  for (auto& [cls, indices] : by_class) {
+    (void)cls;
+    rng->Shuffle(&indices);
+    for (size_t i = 0; i < indices.size(); ++i) {
+      folds[(start_fold + i) % k].test.push_back(indices[i]);
+    }
+    start_fold = (start_fold + indices.size()) % k;
+  }
+  for (size_t f = 0; f < k; ++f) {
+    for (size_t g = 0; g < k; ++g) {
+      if (g == f) continue;
+      folds[f].train.insert(folds[f].train.end(), folds[g].test.begin(),
+                            folds[g].test.end());
+    }
+  }
+  // A fold with an empty test set can occur when k > n; guarded above, so
+  // every fold has at least one test row here.
+  for (const Fold& fold : folds) {
+    EAFE_CHECK(!fold.test.empty());
+    EAFE_CHECK(!fold.train.empty());
+  }
+  return folds;
+}
+
+}  // namespace eafe::data

@@ -1,0 +1,48 @@
+#ifndef EAFE_DATA_SPLIT_H_
+#define EAFE_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "data/dataframe.h"
+
+namespace eafe::data {
+
+struct TrainTestIndices {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// Shuffled train/test split of n rows; `test_fraction` in (0, 1).
+Result<TrainTestIndices> TrainTestSplitIndices(size_t n, double test_fraction,
+                                               Rng* rng);
+
+struct TrainTestDatasets {
+  Dataset train;
+  Dataset test;
+};
+
+/// Applies TrainTestSplitIndices to a dataset.
+Result<TrainTestDatasets> TrainTestSplit(const Dataset& dataset,
+                                         double test_fraction, Rng* rng);
+
+/// One cross-validation fold.
+struct Fold {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// K shuffled folds over n rows; every row appears in exactly one test set.
+/// Requires 2 <= k <= n.
+Result<std::vector<Fold>> KFoldIndices(size_t n, size_t k, Rng* rng);
+
+/// Stratified K folds: class proportions are preserved per fold.
+/// `labels` are integer class ids stored as doubles. Requires each class to
+/// have at least one sample and 2 <= k <= n.
+Result<std::vector<Fold>> StratifiedKFoldIndices(
+    const std::vector<double>& labels, size_t k, Rng* rng);
+
+}  // namespace eafe::data
+
+#endif  // EAFE_DATA_SPLIT_H_

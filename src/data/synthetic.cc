@@ -1,0 +1,285 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace eafe::data {
+namespace {
+
+/// Draws one *informative* raw feature column: well-behaved measurement
+/// distributions (the kind real signal columns tend to have).
+std::vector<double> DrawFeature(size_t n, size_t family, Rng* rng) {
+  std::vector<double> values(n);
+  switch (family % 4) {
+    case 0:  // Gaussian with random location/scale.
+    {
+      const double mu = rng->Uniform(-2.0, 2.0);
+      const double sigma = rng->Uniform(0.5, 3.0);
+      for (double& v : values) v = rng->Normal(mu, sigma);
+      break;
+    }
+    case 1:  // Uniform on a random interval.
+    {
+      const double lo = rng->Uniform(-5.0, 0.0);
+      const double hi = lo + rng->Uniform(1.0, 10.0);
+      for (double& v : values) v = rng->Uniform(lo, hi);
+      break;
+    }
+    case 2:  // Mildly skewed lognormal.
+    {
+      const double sigma = rng->Uniform(0.3, 0.8);
+      for (double& v : values) v = std::exp(rng->Normal(0.0, sigma));
+      break;
+    }
+    default:  // Exponential (positive, moderate tail).
+    {
+      const double rate = rng->Uniform(0.5, 2.0);
+      for (double& v : values) v = rng->Exponential(rate);
+      break;
+    }
+  }
+  return values;
+}
+
+/// Draws one *noise* raw feature column: pathological distributions
+/// (extreme tails, spikes, near-constant codes) — the poorly-behaved
+/// columns real tables carry. This distributional asymmetry between
+/// signal and junk is what lets a shape-based pre-evaluator (the paper's
+/// FPE premise) generalize across datasets: transforms of well-behaved
+/// columns inherit sane shapes, while junk combinations look like junk.
+std::vector<double> DrawNoiseFeature(size_t n, size_t family, Rng* rng) {
+  std::vector<double> values(n);
+  switch (family % 4) {
+    case 0:  // Extreme lognormal (wild right tail).
+    {
+      const double sigma = rng->Uniform(2.0, 3.0);
+      for (double& v : values) v = std::exp(rng->Normal(0.0, sigma));
+      break;
+    }
+    case 1:  // Cauchy-like heavy tails (ratio of normals).
+    {
+      for (double& v : values) {
+        const double denom = rng->Normal();
+        v = rng->Normal() / (std::fabs(denom) + 0.05);
+      }
+      break;
+    }
+    case 2:  // Spiky: mostly near zero with rare huge spikes.
+    {
+      const double spike = rng->Uniform(20.0, 200.0);
+      for (double& v : values) {
+        v = rng->Bernoulli(0.05) ? rng->Normal(0.0, spike)
+                                 : rng->Normal(0.0, 0.05);
+      }
+      break;
+    }
+    default:  // Tiny-cardinality integer codes.
+    {
+      const uint64_t cardinality = 2 + rng->UniformInt(uint64_t{3});
+      for (double& v : values) {
+        v = static_cast<double>(rng->UniformInt(cardinality));
+      }
+      break;
+    }
+  }
+  return values;
+}
+
+/// One planted interaction term. The functional forms are precisely the
+/// compositions the paper's 4 unary + 5 binary operators can build, so the
+/// AFE search space contains features that recover them.
+double InteractionTerm(size_t kind, double a, double b) {
+  switch (kind % 6) {
+    case 0:
+      return a * b;
+    case 1:
+      return a / (std::fabs(b) + 1.0);
+    case 2:
+      return std::log(std::fabs(a) + 1.0) * b;
+    case 3:
+      return std::sqrt(std::fabs(a)) - std::sqrt(std::fabs(b));
+    case 4:
+      return (a - b) * (a + b);
+    default:
+      return std::fmod(std::fabs(a), std::fabs(b) + 1.0);
+  }
+}
+
+void Standardize(std::vector<double>* values) {
+  if (values->empty()) return;
+  double mean = 0.0;
+  for (double v : *values) mean += v;
+  mean /= static_cast<double>(values->size());
+  double var = 0.0;
+  for (double v : *values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values->size());
+  const double sd = var > 0.0 ? std::sqrt(var) : 1.0;
+  for (double& v : *values) v = (v - mean) / sd;
+}
+
+}  // namespace
+
+Result<Dataset> MakeSynthetic(const SyntheticSpec& spec) {
+  if (spec.num_samples < 10) {
+    return Status::InvalidArgument("num_samples must be >= 10");
+  }
+  if (spec.num_features < 2) {
+    return Status::InvalidArgument("num_features must be >= 2");
+  }
+  if (spec.task == TaskType::kClassification && spec.num_classes < 2) {
+    return Status::InvalidArgument("num_classes must be >= 2");
+  }
+  if (spec.redundant_fraction < 0.0 || spec.redundant_fraction > 1.0) {
+    return Status::InvalidArgument("redundant_fraction must be in [0, 1]");
+  }
+
+  Rng rng(spec.seed);
+  const size_t n = spec.num_samples;
+  const size_t informative =
+      spec.num_informative > 0
+          ? std::min(spec.num_informative, spec.num_features)
+          : std::min<size_t>(spec.num_features, 6);
+  const size_t interactions =
+      spec.num_interactions > 0 ? spec.num_interactions
+                                : std::max<size_t>(informative - 1, 1);
+
+  // 1. Informative raw features (well-behaved distributions).
+  std::vector<std::vector<double>> informative_cols(informative);
+  for (size_t j = 0; j < informative; ++j) {
+    informative_cols[j] = DrawFeature(n, rng.UniformInt(uint64_t{4}), &rng);
+  }
+
+  // 2. Target score: linear part + planted interactions on standardized
+  // copies (so no single raw scale dominates).
+  std::vector<std::vector<double>> standardized = informative_cols;
+  for (auto& col : standardized) Standardize(&col);
+
+  // Interactions dominate the linear part by design: the linear component
+  // is what a raw-feature learner already captures, while the planted
+  // interactions are the headroom that feature engineering can unlock.
+  std::vector<double> score(n, 0.0);
+  for (size_t j = 0; j < informative; ++j) {
+    const double w = rng.Uniform(-1.0, 1.0) * spec.linear_weight;
+    for (size_t i = 0; i < n; ++i) score[i] += w * standardized[j][i];
+  }
+  for (size_t t = 0; t < interactions; ++t) {
+    const size_t a = rng.UniformInt(static_cast<uint64_t>(informative));
+    size_t b = rng.UniformInt(static_cast<uint64_t>(informative));
+    if (informative > 1) {
+      while (b == a) b = rng.UniformInt(static_cast<uint64_t>(informative));
+    }
+    const size_t kind = rng.UniformInt(uint64_t{6});
+    const double w = rng.Uniform(1.5, 3.0) * (rng.Bernoulli(0.5) ? 1.0 : -1.0);
+    // Interactions act on the *raw* columns (the term is standardized
+    // afterwards): a generated feature like f_a * f_b is then an affine
+    // image of the planted term, so the paper's operator set can recover
+    // the structure exactly.
+    std::vector<double> term(n);
+    for (size_t i = 0; i < n; ++i) {
+      term[i] = InteractionTerm(kind, informative_cols[a][i],
+                                informative_cols[b][i]);
+    }
+    Standardize(&term);
+    for (size_t i = 0; i < n; ++i) score[i] += w * term[i];
+  }
+  Standardize(&score);
+
+  // 3. Labels.
+  std::vector<double> labels(n);
+  if (spec.task == TaskType::kRegression) {
+    for (size_t i = 0; i < n; ++i) {
+      labels[i] = score[i] + rng.Normal(0.0, spec.noise);
+    }
+  } else {
+    // Thresholds at the k-1 empirical quantiles of the noisy score keep
+    // classes roughly balanced.
+    std::vector<double> noisy(n);
+    for (size_t i = 0; i < n; ++i) {
+      noisy[i] = score[i] + rng.Normal(0.0, spec.noise);
+    }
+    std::vector<double> sorted = noisy;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<double> thresholds;
+    for (size_t c = 1; c < spec.num_classes; ++c) {
+      thresholds.push_back(
+          sorted[c * n / spec.num_classes]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      size_t cls = 0;
+      while (cls < thresholds.size() && noisy[i] >= thresholds[cls]) ++cls;
+      labels[i] = static_cast<double>(cls);
+    }
+  }
+
+  // 4. Remaining features: redundant (noisy combinations of informative
+  // columns — what the feature pre-selector should reject) and pure noise.
+  const size_t extra = spec.num_features - informative;
+  const size_t redundant = static_cast<size_t>(
+      std::round(static_cast<double>(extra) * spec.redundant_fraction));
+  std::vector<std::vector<double>> extra_cols;
+  extra_cols.reserve(extra);
+  for (size_t j = 0; j < extra; ++j) {
+    std::vector<double> col(n, 0.0);
+    if (j < redundant && informative > 0) {
+      const size_t src1 = rng.UniformInt(static_cast<uint64_t>(informative));
+      const size_t src2 = rng.UniformInt(static_cast<uint64_t>(informative));
+      const double w1 = rng.Uniform(-1.0, 1.0);
+      const double w2 = rng.Uniform(-1.0, 1.0);
+      for (size_t i = 0; i < n; ++i) {
+        col[i] = w1 * informative_cols[src1][i] +
+                 w2 * informative_cols[src2][i] + rng.Normal(0.0, 0.3);
+      }
+    } else {
+      col = DrawNoiseFeature(n, rng.UniformInt(uint64_t{4}), &rng);
+    }
+    extra_cols.push_back(std::move(col));
+  }
+
+  // 5. Assemble with shuffled column order so position carries no signal.
+  std::vector<std::vector<double>> all_cols;
+  all_cols.reserve(spec.num_features);
+  for (auto& c : informative_cols) all_cols.push_back(std::move(c));
+  for (auto& c : extra_cols) all_cols.push_back(std::move(c));
+  std::vector<size_t> order = rng.Permutation(all_cols.size());
+
+  Dataset dataset;
+  dataset.name = spec.name;
+  dataset.task = spec.task;
+  dataset.labels = std::move(labels);
+  for (size_t j = 0; j < order.size(); ++j) {
+    EAFE_RETURN_NOT_OK(dataset.features.AddColumn(
+        Column(StrFormat("f%zu", j), std::move(all_cols[order[j]]))));
+  }
+  EAFE_RETURN_NOT_OK(dataset.Validate());
+  return dataset;
+}
+
+std::vector<Dataset> MakePublicCollection(size_t count,
+                                          double classification_fraction,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Dataset> datasets;
+  datasets.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    SyntheticSpec spec;
+    spec.name = StrFormat("public_%zu", i);
+    spec.task = rng.Bernoulli(classification_fraction)
+                    ? TaskType::kClassification
+                    : TaskType::kRegression;
+    spec.num_samples = 80 + rng.UniformInt(uint64_t{320});
+    spec.num_features = 4 + rng.UniformInt(uint64_t{12});
+    spec.noise = rng.Uniform(0.05, 0.3);
+    spec.redundant_fraction = rng.Uniform(0.2, 0.8);
+    spec.num_classes = 2;
+    spec.seed = rng.Next();
+    auto dataset = MakeSynthetic(spec);
+    EAFE_CHECK(dataset.ok());
+    datasets.push_back(std::move(dataset).ValueOrDie());
+  }
+  return datasets;
+}
+
+}  // namespace eafe::data

@@ -1,0 +1,59 @@
+#ifndef EAFE_DATA_SYNTHETIC_H_
+#define EAFE_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "data/dataframe.h"
+
+namespace eafe::data {
+
+/// Parameters for the synthetic tabular dataset generator.
+///
+/// The generator substitutes for the paper's OpenML/UCI datasets. It plants
+/// ground-truth structure that is recoverable by exactly the paper's
+/// transformation operators: the target depends on pairwise interactions
+/// (products, ratios) and curved monotone terms (log, sqrt) of a subset of
+/// "informative" raw features, so engineered features genuinely improve a
+/// capacity-limited downstream learner, while "redundant" and "noise"
+/// features give the pre-selector something to reject.
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  TaskType task = TaskType::kClassification;
+  size_t num_samples = 200;
+  size_t num_features = 8;
+  /// Features the target actually depends on; 0 means min(num_features, 6).
+  size_t num_informative = 0;
+  /// Pairwise interaction terms in the target; 0 means num_informative - 1.
+  size_t num_interactions = 0;
+  /// Fraction of the non-informative features that are noisy linear
+  /// combinations of informative ones (the rest are pure noise).
+  double redundant_fraction = 0.5;
+  /// Label-noise scale relative to the target's standard deviation.
+  double noise = 0.1;
+  /// Scale of the linear (raw-feature) component of the target relative
+  /// to the planted interactions. Higher values make the raw features
+  /// more informative on their own (higher base score, less headroom).
+  double linear_weight = 0.25;
+  size_t num_classes = 2;
+  uint64_t seed = 42;
+};
+
+/// Generates a dataset according to `spec`. Deterministic in spec.seed.
+Result<Dataset> MakeSynthetic(const SyntheticSpec& spec);
+
+/// A heterogeneous collection of small datasets standing in for the
+/// paper's 239 public pre-training datasets: shapes, distributions, and
+/// interaction structure vary per dataset. `classification_fraction`
+/// controls the task mix (the paper used 141 classification / 98
+/// regression, i.e. ~0.59).
+std::vector<Dataset> MakePublicCollection(size_t count,
+                                          double classification_fraction,
+                                          uint64_t seed);
+
+}  // namespace eafe::data
+
+#endif  // EAFE_DATA_SYNTHETIC_H_

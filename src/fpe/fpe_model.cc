@@ -1,0 +1,215 @@
+#include "fpe/fpe_model.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/rng.h"
+#include "core/string_util.h"
+#include "data/meta_features.h"
+
+namespace eafe::fpe {
+
+FpeModel::FpeModel(const Options& options) : options_(options) {
+  // The classifier needs an unbiased view of the value distribution in
+  // addition to the weight-biased consistent sample; pair every CWS slot
+  // with a uniform slot unless the caller chose otherwise.
+  if (options_.compressor.extra_uniform_slots == 0) {
+    options_.compressor.extra_uniform_slots = options_.compressor.dimension;
+  }
+  compressor_ = hashing::SampleCompressor(options_.compressor);
+}
+
+size_t FpeModel::InputDimension() const {
+  const size_t signature = options_.compressor.dimension +
+                           options_.compressor.extra_uniform_slots;
+  switch (options_.input) {
+    case InputRepresentation::kSignature:
+      return signature;
+    case InputRepresentation::kMetaFeatures:
+      return data::kNumMetaFeatures;
+    case InputRepresentation::kCombined:
+      return signature + data::kNumMetaFeatures;
+  }
+  return signature;
+}
+
+Result<std::vector<double>> FpeModel::BuildInput(
+    const std::vector<double>& values) const {
+  std::vector<double> input;
+  if (options_.input != InputRepresentation::kMetaFeatures) {
+    EAFE_ASSIGN_OR_RETURN(input, compressor_.Compress(values));
+  }
+  if (options_.input != InputRepresentation::kSignature) {
+    EAFE_ASSIGN_OR_RETURN(std::vector<double> meta,
+                          data::ComputeMetaFeatures(values));
+    input.insert(input.end(), meta.begin(), meta.end());
+  }
+  EAFE_CHECK_EQ(input.size(), InputDimension());
+  return input;
+}
+
+Result<data::DataFrame> FpeModel::SignatureFrame(
+    const std::vector<LabeledFeature>& features) const {
+  const size_t d = InputDimension();
+  std::vector<std::vector<double>> columns(d);
+  for (auto& col : columns) col.reserve(features.size());
+  for (const LabeledFeature& feature : features) {
+    EAFE_ASSIGN_OR_RETURN(std::vector<double> input,
+                          BuildInput(feature.values));
+    for (size_t j = 0; j < d; ++j) columns[j].push_back(input[j]);
+  }
+  data::DataFrame frame;
+  for (size_t j = 0; j < d; ++j) {
+    EAFE_RETURN_NOT_OK(frame.AddColumn(
+        data::Column(StrFormat("s%zu", j), std::move(columns[j]))));
+  }
+  return frame;
+}
+
+Status FpeModel::Train(const std::vector<LabeledFeature>& features) {
+  if (features.size() < 4) {
+    return Status::InvalidArgument(
+        "FPE training needs at least 4 labeled features");
+  }
+  size_t positives = 0;
+  for (const LabeledFeature& f : features) positives += f.label;
+  if (positives == 0 || positives == features.size()) {
+    return Status::InvalidArgument(
+        "FPE training needs both positive and negative features");
+  }
+
+  // Optional minority-class oversampling: the validness labels are skewed
+  // toward 0 and the paper's objective is recall of positives (Eq. 6).
+  std::vector<size_t> order(features.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (options_.rebalance_positive_fraction > 0.0) {
+    const double target = options_.rebalance_positive_fraction;
+    const bool positives_minority =
+        static_cast<double>(positives) <
+        target * static_cast<double>(features.size());
+    const int minority_label = positives_minority ? 1 : 0;
+    std::vector<size_t> minority_indices;
+    for (size_t i = 0; i < features.size(); ++i) {
+      if (features[i].label == minority_label) minority_indices.push_back(i);
+    }
+    const size_t majority = features.size() - minority_indices.size();
+    // Duplicate minority examples until the classes are near balanced.
+    Rng rng(options_.seed);
+    while (!minority_indices.empty() &&
+           order.size() < 2 * majority) {
+      order.push_back(minority_indices[rng.UniformInt(
+          static_cast<uint64_t>(minority_indices.size()))]);
+    }
+  }
+
+  std::vector<LabeledFeature> training;
+  training.reserve(order.size());
+  for (size_t i : order) training.push_back(features[i]);
+
+  EAFE_ASSIGN_OR_RETURN(data::DataFrame x, SignatureFrame(training));
+  std::vector<double> y;
+  y.reserve(training.size());
+  for (const LabeledFeature& f : training) {
+    y.push_back(static_cast<double>(f.label));
+  }
+
+  switch (options_.classifier) {
+    case ClassifierKind::kLogistic: {
+      ml::LogisticRegression::Options lr;
+      lr.epochs = options_.classifier_epochs;
+      lr.seed = options_.seed;
+      logistic_ = ml::LogisticRegression(lr);
+      EAFE_RETURN_NOT_OK(logistic_.Fit(x, y));
+      break;
+    }
+    case ClassifierKind::kMlp: {
+      ml::Mlp::Options mlp;
+      mlp.task = data::TaskType::kClassification;
+      mlp.hidden_sizes = {32};
+      mlp.epochs = options_.classifier_epochs;
+      mlp.seed = options_.seed;
+      mlp_ = ml::Mlp(mlp);
+      EAFE_RETURN_NOT_OK(mlp_.Fit(x, y));
+      break;
+    }
+    case ClassifierKind::kRandomForest: {
+      ml::RandomForest::Options rf;
+      rf.task = data::TaskType::kClassification;
+      rf.num_trees = 20;
+      rf.max_depth = 8;
+      rf.seed = options_.seed;
+      forest_ = ml::RandomForest(rf);
+      EAFE_RETURN_NOT_OK(forest_.Fit(x, y));
+      break;
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Status FpeModel::RestoreLogistic(ml::LogisticRegression classifier) {
+  if (options_.classifier != ClassifierKind::kLogistic) {
+    return Status::FailedPrecondition(
+        "RestoreLogistic requires the logistic classifier kind");
+  }
+  if (!classifier.fitted()) {
+    return Status::InvalidArgument("restored classifier is not fitted");
+  }
+  const size_t expected = InputDimension();
+  if (classifier.num_features() != expected) {
+    return Status::InvalidArgument(
+        "classifier input width disagrees with compressor signature size");
+  }
+  logistic_ = std::move(classifier);
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<double> FpeModel::PredictProbability(
+    const std::vector<double>& values) const {
+  if (!trained_) return Status::FailedPrecondition("FPE model not trained");
+  EAFE_ASSIGN_OR_RETURN(std::vector<double> input, BuildInput(values));
+  data::DataFrame frame;
+  for (size_t j = 0; j < input.size(); ++j) {
+    EAFE_RETURN_NOT_OK(frame.AddColumn(data::Column(
+        StrFormat("s%zu", j), std::vector<double>{input[j]})));
+  }
+  std::vector<double> proba;
+  switch (options_.classifier) {
+    case ClassifierKind::kLogistic: {
+      EAFE_ASSIGN_OR_RETURN(proba, logistic_.PredictProba(frame));
+      break;
+    }
+    case ClassifierKind::kMlp: {
+      EAFE_ASSIGN_OR_RETURN(proba, mlp_.PredictProba(frame));
+      break;
+    }
+    case ClassifierKind::kRandomForest: {
+      EAFE_ASSIGN_OR_RETURN(proba, forest_.PredictProba(frame));
+      break;
+    }
+  }
+  return proba[0];
+}
+
+Result<int> FpeModel::PredictLabel(const std::vector<double>& values) const {
+  EAFE_ASSIGN_OR_RETURN(double p, PredictProbability(values));
+  return p >= 0.5 ? 1 : 0;
+}
+
+Result<stats::BinaryCounts> FpeModel::Evaluate(
+    const std::vector<LabeledFeature>& features) const {
+  if (!trained_) return Status::FailedPrecondition("FPE model not trained");
+  std::vector<int> truth;
+  std::vector<int> predicted;
+  truth.reserve(features.size());
+  predicted.reserve(features.size());
+  for (const LabeledFeature& f : features) {
+    EAFE_ASSIGN_OR_RETURN(int label, PredictLabel(f.values));
+    truth.push_back(f.label);
+    predicted.push_back(label);
+  }
+  return stats::CountBinary(truth, predicted);
+}
+
+}  // namespace eafe::fpe

@@ -1,0 +1,50 @@
+#include "fpe/labeling.h"
+
+namespace eafe::fpe {
+
+Result<std::vector<LabeledFeature>> LabelFeatures(
+    const data::Dataset& dataset, const ml::TaskEvaluator& evaluator,
+    double threshold) {
+  EAFE_RETURN_NOT_OK(dataset.Validate());
+  std::vector<LabeledFeature> out;
+  const size_t num_features = dataset.features.num_columns();
+  if (num_features < 2) return out;  // No residual dataset to compare.
+
+  EAFE_ASSIGN_OR_RETURN(double base_score, evaluator.Score(dataset));
+  out.reserve(num_features);
+  for (size_t j = 0; j < num_features; ++j) {
+    data::Dataset residual = dataset;
+    EAFE_RETURN_NOT_OK(residual.features.DropColumn(j));
+    EAFE_ASSIGN_OR_RETURN(double residual_score, evaluator.Score(residual));
+    LabeledFeature feature;
+    feature.dataset_name = dataset.name;
+    feature.feature_name = dataset.features.column(j).name();
+    feature.task = dataset.task;
+    feature.values = dataset.features.column(j).values();
+    feature.score_gain = base_score - residual_score;
+    feature.label = feature.score_gain > threshold ? 1 : 0;
+    out.push_back(std::move(feature));
+  }
+  return out;
+}
+
+Result<std::vector<LabeledFeature>> LabelFeatureCollection(
+    const std::vector<data::Dataset>& datasets,
+    const ml::TaskEvaluator& evaluator, double threshold) {
+  std::vector<LabeledFeature> all;
+  for (const data::Dataset& dataset : datasets) {
+    EAFE_ASSIGN_OR_RETURN(std::vector<LabeledFeature> features,
+                          LabelFeatures(dataset, evaluator, threshold));
+    for (LabeledFeature& f : features) all.push_back(std::move(f));
+  }
+  return all;
+}
+
+void RelabelWithThreshold(std::vector<LabeledFeature>* features,
+                          double threshold) {
+  for (LabeledFeature& f : *features) {
+    f.label = f.score_gain > threshold ? 1 : 0;
+  }
+}
+
+}  // namespace eafe::fpe

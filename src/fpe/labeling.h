@@ -1,0 +1,48 @@
+#ifndef EAFE_FPE_LABELING_H_
+#define EAFE_FPE_LABELING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "data/dataframe.h"
+#include "ml/evaluator.h"
+
+namespace eafe::fpe {
+
+/// One feature example for the Feature-Validness task (Eq. 3): the raw
+/// column values, the leave-one-out score gain A_0 - A_j, and the derived
+/// binary label (1 = effective: removing the feature costs more than
+/// `threshold`).
+struct LabeledFeature {
+  std::string dataset_name;
+  std::string feature_name;
+  data::TaskType task = data::TaskType::kClassification;
+  std::vector<double> values;
+  double score_gain = 0.0;
+  int label = 0;
+};
+
+/// Labels every feature of `dataset` by the paper's leave-one-feature-out
+/// protocol: A_0 = evaluator score on the full dataset, A_j = score with
+/// feature j removed, label_j = 1 iff A_0 - A_j > threshold. Skips
+/// datasets with a single feature (no residual dataset exists).
+Result<std::vector<LabeledFeature>> LabelFeatures(
+    const data::Dataset& dataset, const ml::TaskEvaluator& evaluator,
+    double threshold);
+
+/// Labels features across a collection; failures on individual datasets
+/// propagate. Gains are computed per dataset.
+Result<std::vector<LabeledFeature>> LabelFeatureCollection(
+    const std::vector<data::Dataset>& datasets,
+    const ml::TaskEvaluator& evaluator, double threshold);
+
+/// Re-derives labels for an existing gain set under a new threshold
+/// (used by the thre sensitivity study, Fig. 6/8, without re-running the
+/// expensive leave-one-out evaluations).
+void RelabelWithThreshold(std::vector<LabeledFeature>* features,
+                          double threshold);
+
+}  // namespace eafe::fpe
+
+#endif  // EAFE_FPE_LABELING_H_

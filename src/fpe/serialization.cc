@@ -1,0 +1,194 @@
+#include "fpe/serialization.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/string_util.h"
+
+namespace eafe::fpe {
+namespace {
+
+constexpr char kHeader[] = "eafe-fpe-model v1";
+
+void AppendVector(std::string* out, const std::string& key,
+                  const std::vector<double>& values) {
+  *out += key;
+  for (double v : values) {
+    *out += ' ';
+    *out += StrFormat("%.17g", v);
+  }
+  *out += '\n';
+}
+
+Result<std::vector<double>> ParseVector(const std::string& line,
+                                        const std::string& key) {
+  if (!StartsWith(line, key + " ")) {
+    return Status::InvalidArgument("expected line starting with '" + key +
+                                   "', got '" + line + "'");
+  }
+  std::vector<double> values;
+  for (const std::string& token :
+       Split(line.substr(key.size() + 1), ' ')) {
+    if (Trim(token).empty()) continue;
+    EAFE_ASSIGN_OR_RETURN(double value, ParseDouble(token));
+    values.push_back(value);
+  }
+  return values;
+}
+
+Result<std::string> ParseKeyValue(const std::string& line,
+                                  const std::string& key) {
+  if (!StartsWith(line, key + " ")) {
+    return Status::InvalidArgument("expected line starting with '" + key +
+                                   "', got '" + line + "'");
+  }
+  return std::string(Trim(line.substr(key.size() + 1)));
+}
+
+}  // namespace
+
+Result<std::string> SerializeFpeModel(const FpeModel& model) {
+  if (!model.trained()) {
+    return Status::FailedPrecondition("cannot serialize an untrained model");
+  }
+  if (model.options().classifier != FpeModel::ClassifierKind::kLogistic) {
+    return Status::NotImplemented(
+        "only logistic FPE classifiers are serializable");
+  }
+  const FpeModel::Options& options = model.options();
+  const ml::LogisticRegression& classifier = model.logistic_classifier();
+
+  std::string out = std::string(kHeader) + "\n";
+  out += "scheme " +
+         hashing::MinHashSchemeToString(options.compressor.scheme) + "\n";
+  out += StrFormat("dimension %zu\n", options.compressor.dimension);
+  out += StrFormat("extra_uniform_slots %zu\n",
+                   options.compressor.extra_uniform_slots);
+  out += StrFormat("sort_signature %d\n",
+                   options.compressor.sort_signature ? 1 : 0);
+  out += StrFormat("compressor_seed %llu\n",
+                   static_cast<unsigned long long>(options.compressor.seed));
+  out += StrFormat("input %d\n", static_cast<int>(options.input));
+  out += StrFormat("num_classes %zu\n", classifier.num_classes());
+  AppendVector(&out, "scaler_means", classifier.scaler().means());
+  AppendVector(&out, "scaler_scales", classifier.scaler().scales());
+  out += StrFormat("num_heads %zu\n", classifier.all_weights().size());
+  for (size_t h = 0; h < classifier.all_weights().size(); ++h) {
+    AppendVector(&out, StrFormat("weights_%zu", h),
+                 classifier.all_weights()[h]);
+  }
+  return out;
+}
+
+Result<FpeModel> DeserializeFpeModel(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  auto next_line = [&]() -> Result<std::string> {
+    while (std::getline(in, line)) {
+      if (!Trim(line).empty()) return line;
+    }
+    return Status::InvalidArgument("unexpected end of FPE model data");
+  };
+
+  EAFE_ASSIGN_OR_RETURN(std::string header, next_line());
+  if (Trim(header) != kHeader) {
+    return Status::InvalidArgument("bad FPE model header: " + header);
+  }
+
+  FpeModel::Options options;
+  EAFE_ASSIGN_OR_RETURN(std::string line_text, next_line());
+  EAFE_ASSIGN_OR_RETURN(std::string scheme_name,
+                        ParseKeyValue(line_text, "scheme"));
+  EAFE_ASSIGN_OR_RETURN(options.compressor.scheme,
+                        hashing::MinHashSchemeFromString(scheme_name));
+
+  EAFE_ASSIGN_OR_RETURN(line_text, next_line());
+  EAFE_ASSIGN_OR_RETURN(std::string value,
+                        ParseKeyValue(line_text, "dimension"));
+  EAFE_ASSIGN_OR_RETURN(int64_t dimension, ParseInt(value));
+  options.compressor.dimension = static_cast<size_t>(dimension);
+
+  EAFE_ASSIGN_OR_RETURN(line_text, next_line());
+  EAFE_ASSIGN_OR_RETURN(value,
+                        ParseKeyValue(line_text, "extra_uniform_slots"));
+  EAFE_ASSIGN_OR_RETURN(int64_t extra, ParseInt(value));
+  options.compressor.extra_uniform_slots = static_cast<size_t>(extra);
+
+  EAFE_ASSIGN_OR_RETURN(line_text, next_line());
+  EAFE_ASSIGN_OR_RETURN(value, ParseKeyValue(line_text, "sort_signature"));
+  EAFE_ASSIGN_OR_RETURN(int64_t sort_flag, ParseInt(value));
+  options.compressor.sort_signature = sort_flag != 0;
+
+  EAFE_ASSIGN_OR_RETURN(line_text, next_line());
+  EAFE_ASSIGN_OR_RETURN(value, ParseKeyValue(line_text, "compressor_seed"));
+  EAFE_ASSIGN_OR_RETURN(int64_t seed, ParseInt(value));
+  options.compressor.seed = static_cast<uint64_t>(seed);
+
+  EAFE_ASSIGN_OR_RETURN(line_text, next_line());
+  EAFE_ASSIGN_OR_RETURN(value, ParseKeyValue(line_text, "input"));
+  EAFE_ASSIGN_OR_RETURN(int64_t input_mode, ParseInt(value));
+  if (input_mode < 0 || input_mode > 2) {
+    return Status::InvalidArgument("bad input-representation id");
+  }
+  options.input =
+      static_cast<FpeModel::InputRepresentation>(input_mode);
+
+  EAFE_ASSIGN_OR_RETURN(line_text, next_line());
+  EAFE_ASSIGN_OR_RETURN(value, ParseKeyValue(line_text, "num_classes"));
+  EAFE_ASSIGN_OR_RETURN(int64_t num_classes, ParseInt(value));
+
+  EAFE_ASSIGN_OR_RETURN(line_text, next_line());
+  EAFE_ASSIGN_OR_RETURN(std::vector<double> means,
+                        ParseVector(line_text, "scaler_means"));
+  EAFE_ASSIGN_OR_RETURN(line_text, next_line());
+  EAFE_ASSIGN_OR_RETURN(std::vector<double> scales,
+                        ParseVector(line_text, "scaler_scales"));
+
+  EAFE_ASSIGN_OR_RETURN(line_text, next_line());
+  EAFE_ASSIGN_OR_RETURN(value, ParseKeyValue(line_text, "num_heads"));
+  EAFE_ASSIGN_OR_RETURN(int64_t num_heads, ParseInt(value));
+  std::vector<std::vector<double>> weights;
+  for (int64_t h = 0; h < num_heads; ++h) {
+    EAFE_ASSIGN_OR_RETURN(line_text, next_line());
+    EAFE_ASSIGN_OR_RETURN(std::vector<double> w,
+                          ParseVector(line_text, StrFormat("weights_%zu",
+                                                           static_cast<size_t>(h))));
+    weights.push_back(std::move(w));
+  }
+
+  data::StandardScaler scaler;
+  EAFE_RETURN_NOT_OK(scaler.Restore(std::move(means), std::move(scales)));
+  ml::LogisticRegression classifier;
+  EAFE_RETURN_NOT_OK(classifier.RestoreFitted(
+      std::move(scaler), std::move(weights),
+      static_cast<size_t>(num_classes)));
+
+  FpeModel model(options);
+  EAFE_RETURN_NOT_OK(model.RestoreLogistic(std::move(classifier)));
+  return model;
+}
+
+Status SaveFpeModel(const FpeModel& model, const std::string& path) {
+  EAFE_ASSIGN_OR_RETURN(std::string text, SerializeFpeModel(model));
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << text;
+  if (!out.good()) {
+    return Status::IoError("error while writing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<FpeModel> LoadFpeModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeFpeModel(buffer.str());
+}
+
+}  // namespace eafe::fpe

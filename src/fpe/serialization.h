@@ -1,0 +1,33 @@
+#ifndef EAFE_FPE_SERIALIZATION_H_
+#define EAFE_FPE_SERIALIZATION_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "fpe/fpe_model.h"
+
+namespace eafe::fpe {
+
+/// Persistence for trained FPE models. The whole point of the FPE design
+/// is amortization — pre-train once on public datasets, deploy against
+/// any number of target datasets — so a saved model is the natural unit
+/// of deployment.
+///
+/// The format is a line-oriented text file ("eafe-fpe-model v1" header,
+/// key/value lines, full-precision doubles), deliberately trivial to
+/// inspect and diff. Only the logistic classifier kind is serializable;
+/// Save returns NotImplemented for an MLP-backed model.
+
+/// Serializes a trained model to a string.
+Result<std::string> SerializeFpeModel(const FpeModel& model);
+
+/// Reconstructs a model from SerializeFpeModel output.
+Result<FpeModel> DeserializeFpeModel(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveFpeModel(const FpeModel& model, const std::string& path);
+Result<FpeModel> LoadFpeModel(const std::string& path);
+
+}  // namespace eafe::fpe
+
+#endif  // EAFE_FPE_SERIALIZATION_H_

@@ -1,0 +1,88 @@
+#include "hashing/minhash.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace eafe::hashing {
+
+uint64_t MixHash(uint64_t seed, uint64_t slot, uint64_t element) {
+  // splitmix64-style finalizer over a combined key.
+  uint64_t z = seed ^ (slot * 0x9E3779B97F4A7C15ULL) ^
+               (element * 0xC2B2AE3D27D4EB4FULL);
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ULL;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return z;
+}
+
+double MixUniform(uint64_t seed, uint64_t slot, uint64_t element,
+                  uint64_t stream) {
+  const uint64_t h = MixHash(seed ^ (stream * 0xD6E8FEB86659FD93ULL), slot,
+                             element);
+  // Map to (0, 1]: (h >> 11) in [0, 2^53), +1 keeps it strictly positive.
+  return (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+}
+
+std::vector<size_t> PlainMinHashSelect(const std::vector<double>& weights,
+                                       size_t num_slots, uint64_t seed) {
+  EAFE_CHECK(!weights.empty());
+  double mean = 0.0;
+  for (double w : weights) mean += w;
+  mean /= static_cast<double>(weights.size());
+
+  std::vector<size_t> support;
+  support.reserve(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > mean) support.push_back(i);
+  }
+  if (support.empty()) {
+    support.resize(weights.size());
+    for (size_t i = 0; i < weights.size(); ++i) support[i] = i;
+  }
+
+  std::vector<size_t> selected(num_slots);
+  for (size_t j = 0; j < num_slots; ++j) {
+    size_t best = support[0];
+    uint64_t best_hash = MixHash(seed, j, best);
+    for (size_t k = 1; k < support.size(); ++k) {
+      const uint64_t h = MixHash(seed, j, support[k]);
+      if (h < best_hash) {
+        best_hash = h;
+        best = support[k];
+      }
+    }
+    selected[j] = best;
+  }
+  return selected;
+}
+
+double EstimateJaccard(const std::vector<size_t>& selection_a,
+                       const std::vector<size_t>& selection_b) {
+  EAFE_CHECK_EQ(selection_a.size(), selection_b.size());
+  if (selection_a.empty()) return 0.0;
+  size_t agree = 0;
+  for (size_t j = 0; j < selection_a.size(); ++j) {
+    if (selection_a[j] == selection_b[j]) ++agree;
+  }
+  return static_cast<double>(agree) /
+         static_cast<double>(selection_a.size());
+}
+
+double GeneralizedJaccard(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  EAFE_CHECK_EQ(a.size(), b.size());
+  double min_sum = 0.0;
+  double max_sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EAFE_CHECK_GE(a[i], 0.0);
+    EAFE_CHECK_GE(b[i], 0.0);
+    min_sum += std::min(a[i], b[i]);
+    max_sum += std::max(a[i], b[i]);
+  }
+  return max_sum > 0.0 ? min_sum / max_sum : 1.0;
+}
+
+}  // namespace eafe::hashing

@@ -1,0 +1,233 @@
+#include "hashing/weighted_minhash.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+#include "core/string_util.h"
+#include "hashing/minhash.h"
+
+namespace eafe::hashing {
+namespace {
+
+// Stream ids for the independent uniform draws behind each scheme's
+// distributions. Distinct ids keep the draws independent across roles.
+enum Stream : uint64_t {
+  kStreamR1 = 1,
+  kStreamR2 = 2,
+  kStreamC1 = 3,
+  kStreamC2 = 4,
+  kStreamBeta = 5,
+  kStreamU = 6,
+};
+
+/// Gamma(2,1) variate from two independent uniforms: -ln(u1 * u2).
+double Gamma21(uint64_t seed, size_t slot, size_t element, uint64_t s1,
+               uint64_t s2) {
+  const double u1 = MixUniform(seed, slot, element, s1);
+  const double u2 = MixUniform(seed, slot, element, s2);
+  return -std::log(u1 * u2);
+}
+
+/// Ioffe's ICWS sampling value for one element; smaller wins.
+/// Writes the quantization index to *t_out.
+double IcwsValue(double weight, uint64_t seed, size_t slot, size_t element,
+                 int64_t* t_out) {
+  const double r = Gamma21(seed, slot, element, kStreamR1, kStreamR2);
+  const double c = Gamma21(seed, slot, element, kStreamC1, kStreamC2);
+  const double beta = MixUniform(seed, slot, element, kStreamBeta);
+  const double t = std::floor(std::log(weight) / r + beta);
+  const double ln_y = r * (t - beta);
+  const double ln_a = std::log(c) - ln_y - r;
+  *t_out = static_cast<int64_t>(t);
+  return ln_a;
+}
+
+/// PCWS: like ICWS but the numerator gamma is replaced by -ln(u), u
+/// uniform — cheaper per element (Wu et al., 2017).
+double PcwsValue(double weight, uint64_t seed, size_t slot, size_t element,
+                 int64_t* t_out) {
+  const double r = Gamma21(seed, slot, element, kStreamR1, kStreamR2);
+  const double u = MixUniform(seed, slot, element, kStreamU);
+  const double beta = MixUniform(seed, slot, element, kStreamBeta);
+  const double t = std::floor(std::log(weight) / r + beta);
+  const double ln_y = r * (t - beta);
+  const double ln_a = std::log(-std::log(u)) - ln_y - r;
+  *t_out = static_cast<int64_t>(t);
+  return ln_a;
+}
+
+/// CCWS: quantizes the weight itself (not its log) on a Beta(1,2)-scaled
+/// grid (Wu et al., 2016).
+double CcwsValue(double weight, uint64_t seed, size_t slot, size_t element,
+                 int64_t* t_out) {
+  // Beta(1,2) = 1 - sqrt(u).
+  const double b = 1.0 - std::sqrt(MixUniform(seed, slot, element, kStreamR1));
+  const double r = std::max(b, 1e-12);
+  const double c = Gamma21(seed, slot, element, kStreamC1, kStreamC2);
+  const double beta = MixUniform(seed, slot, element, kStreamBeta);
+  const double t = std::floor(weight / (2.0 * r) + beta);
+  const double y = 2.0 * r * (t - beta);
+  const double a = c / (y + 2.0 * r);
+  *t_out = static_cast<int64_t>(t);
+  return std::log(a);
+}
+
+}  // namespace
+
+std::string MinHashSchemeToString(MinHashScheme scheme) {
+  switch (scheme) {
+    case MinHashScheme::kPlain:
+      return "plain";
+    case MinHashScheme::kIcws:
+      return "icws";
+    case MinHashScheme::kCcws:
+      return "ccws";
+    case MinHashScheme::kPcws:
+      return "pcws";
+    case MinHashScheme::kLicws:
+      return "licws";
+    case MinHashScheme::kExactQuantile:
+      return "quantile";
+  }
+  return "?";
+}
+
+Result<MinHashScheme> MinHashSchemeFromString(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "plain" || lower == "minhash") return MinHashScheme::kPlain;
+  if (lower == "icws") return MinHashScheme::kIcws;
+  if (lower == "ccws") return MinHashScheme::kCcws;
+  if (lower == "pcws") return MinHashScheme::kPcws;
+  if (lower == "licws" || lower == "0bit" || lower == "zerobit") {
+    return MinHashScheme::kLicws;
+  }
+  if (lower == "quantile" || lower == "exact_quantile") {
+    return MinHashScheme::kExactQuantile;
+  }
+  return Status::InvalidArgument("unknown MinHash scheme: " + name);
+}
+
+const std::vector<MinHashScheme>& AllMinHashSchemes() {
+  static const auto* kSchemes = new std::vector<MinHashScheme>{
+      MinHashScheme::kPlain,  MinHashScheme::kIcws,
+      MinHashScheme::kCcws,   MinHashScheme::kPcws,
+      MinHashScheme::kLicws,  MinHashScheme::kExactQuantile,
+  };
+  return *kSchemes;
+}
+
+namespace {
+
+/// Rank-based selection for the exact-quantile baseline: row indices at d
+/// evenly spaced positions of the value-sorted order.
+std::vector<size_t> ExactQuantileSelect(const std::vector<double>& weights,
+                                        size_t num_slots) {
+  std::vector<size_t> order(weights.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return weights[a] < weights[b];
+  });
+  std::vector<size_t> selected(num_slots);
+  for (size_t j = 0; j < num_slots; ++j) {
+    const double position = (static_cast<double>(j) + 0.5) /
+                            static_cast<double>(num_slots) *
+                            static_cast<double>(order.size());
+    size_t rank = static_cast<size_t>(position);
+    if (rank >= order.size()) rank = order.size() - 1;
+    selected[j] = order[rank];
+  }
+  return selected;
+}
+
+}  // namespace
+
+CwsSample ConsistentSample(MinHashScheme scheme,
+                           const std::vector<double>& weights, size_t slot,
+                           uint64_t seed) {
+  EAFE_CHECK(!weights.empty());
+  EAFE_CHECK(scheme != MinHashScheme::kPlain);
+  EAFE_CHECK(scheme != MinHashScheme::kExactQuantile);
+  CwsSample best;
+  double best_value = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (size_t k = 0; k < weights.size(); ++k) {
+    const double w = weights[k];
+    EAFE_CHECK_GE(w, 0.0);
+    if (w <= 0.0) continue;
+    int64_t t = 0;
+    double value;
+    switch (scheme) {
+      case MinHashScheme::kIcws:
+        value = IcwsValue(w, seed, slot, k, &t);
+        break;
+      case MinHashScheme::kPcws:
+        value = PcwsValue(w, seed, slot, k, &t);
+        break;
+      case MinHashScheme::kCcws:
+        value = CcwsValue(w, seed, slot, k, &t);
+        break;
+      case MinHashScheme::kLicws:
+        // 0-bit CWS: ICWS sampling with the quantization index discarded
+        // from the signature.
+        value = IcwsValue(w, seed, slot, k, &t);
+        t = 0;
+        break;
+      default:
+        value = 0.0;
+        break;
+    }
+    if (!any || value < best_value) {
+      any = true;
+      best_value = value;
+      best.element = k;
+      best.quantization = t;
+    }
+  }
+  EAFE_CHECK_MSG(any, "ConsistentSample needs a positive weight");
+  return best;
+}
+
+std::vector<size_t> WeightedMinHashSelect(MinHashScheme scheme,
+                                          const std::vector<double>& weights,
+                                          size_t num_slots, uint64_t seed) {
+  EAFE_CHECK(!weights.empty());
+  if (scheme == MinHashScheme::kPlain) {
+    return PlainMinHashSelect(weights, num_slots, seed);
+  }
+  if (scheme == MinHashScheme::kExactQuantile) {
+    return ExactQuantileSelect(weights, num_slots);
+  }
+  bool any_positive = false;
+  for (double w : weights) {
+    if (w > 0.0) {
+      any_positive = true;
+      break;
+    }
+  }
+  std::vector<size_t> selected(num_slots);
+  if (!any_positive) {
+    // Degenerate all-zero feature: fall back to uniform hashing so the
+    // signature is still defined.
+    for (size_t j = 0; j < num_slots; ++j) {
+      size_t best = 0;
+      uint64_t best_hash = MixHash(seed, j, 0);
+      for (size_t k = 1; k < weights.size(); ++k) {
+        const uint64_t h = MixHash(seed, j, k);
+        if (h < best_hash) {
+          best_hash = h;
+          best = k;
+        }
+      }
+      selected[j] = best;
+    }
+    return selected;
+  }
+  for (size_t j = 0; j < num_slots; ++j) {
+    selected[j] = ConsistentSample(scheme, weights, j, seed).element;
+  }
+  return selected;
+}
+
+}  // namespace eafe::hashing

@@ -1,0 +1,73 @@
+#include "ml/cross_validation.h"
+
+#include <map>
+
+#include "core/rng.h"
+#include "data/split.h"
+#include "ml/metrics.h"
+
+namespace eafe::ml {
+
+Result<std::vector<double>> CrossValidateScores(const ModelFactory& factory,
+                                                const data::Dataset& dataset,
+                                                const CvOptions& options) {
+  EAFE_RETURN_NOT_OK(dataset.Validate());
+  if (options.folds < 2) {
+    return Status::InvalidArgument("cross-validation needs >= 2 folds");
+  }
+  Rng rng(options.seed);
+
+  bool use_stratified =
+      options.stratified && dataset.task == data::TaskType::kClassification;
+  if (use_stratified) {
+    std::map<int, size_t> class_counts;
+    for (double label : dataset.labels) {
+      ++class_counts[static_cast<int>(label)];
+    }
+    for (const auto& [cls, count] : class_counts) {
+      (void)cls;
+      if (count < options.folds) {
+        use_stratified = false;
+        break;
+      }
+    }
+  }
+
+  std::vector<data::Fold> folds;
+  if (use_stratified) {
+    EAFE_ASSIGN_OR_RETURN(
+        folds,
+        data::StratifiedKFoldIndices(dataset.labels, options.folds, &rng));
+  } else {
+    EAFE_ASSIGN_OR_RETURN(
+        folds, data::KFoldIndices(dataset.num_rows(), options.folds, &rng));
+  }
+
+  std::vector<double> scores;
+  scores.reserve(folds.size());
+  for (const data::Fold& fold : folds) {
+    const data::Dataset train = dataset.SelectRows(fold.train);
+    const data::Dataset test = dataset.SelectRows(fold.test);
+    std::unique_ptr<Model> model = factory();
+    if (model == nullptr) {
+      return Status::Internal("model factory returned null");
+    }
+    EAFE_RETURN_NOT_OK(model->Fit(train.features, train.labels));
+    EAFE_ASSIGN_OR_RETURN(std::vector<double> predicted,
+                          model->Predict(test.features));
+    scores.push_back(TaskScore(dataset.task, test.labels, predicted));
+  }
+  return scores;
+}
+
+Result<double> CrossValidateScore(const ModelFactory& factory,
+                                  const data::Dataset& dataset,
+                                  const CvOptions& options) {
+  EAFE_ASSIGN_OR_RETURN(std::vector<double> scores,
+                        CrossValidateScores(factory, dataset, options));
+  double sum = 0.0;
+  for (double s : scores) sum += s;
+  return sum / static_cast<double>(scores.size());
+}
+
+}  // namespace eafe::ml

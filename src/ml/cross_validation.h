@@ -1,0 +1,36 @@
+#ifndef EAFE_ML_CROSS_VALIDATION_H_
+#define EAFE_ML_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <memory>
+
+#include "core/status.h"
+#include "data/dataframe.h"
+#include "ml/model.h"
+
+namespace eafe::ml {
+
+struct CvOptions {
+  size_t folds = 5;
+  /// Stratify folds by class for classification tasks when every class has
+  /// at least `folds` members; falls back to plain K-fold otherwise.
+  bool stratified = true;
+  uint64_t seed = 1;
+};
+
+/// K-fold cross-validated task score (weighted F1 for classification,
+/// 1-RAE for regression): fits a fresh model from `factory` on each
+/// training fold and scores on its held-out fold; returns the mean.
+/// This is the paper's A_T(F, y) feature-set evaluation.
+Result<double> CrossValidateScore(const ModelFactory& factory,
+                                  const data::Dataset& dataset,
+                                  const CvOptions& options = {});
+
+/// Per-fold scores (same protocol) for callers needing dispersion.
+Result<std::vector<double>> CrossValidateScores(
+    const ModelFactory& factory, const data::Dataset& dataset,
+    const CvOptions& options = {});
+
+}  // namespace eafe::ml
+
+#endif  // EAFE_ML_CROSS_VALIDATION_H_

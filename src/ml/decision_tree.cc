@@ -1,0 +1,282 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace eafe::ml {
+namespace {
+
+/// Gini impurity from class counts.
+double Gini(const std::map<int, size_t>& counts, size_t total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (const auto& [cls, count] : counts) {
+    (void)cls;
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(const Options& options) : options_(options) {}
+
+Status DecisionTree::Fit(const data::DataFrame& x,
+                         const std::vector<double>& y) {
+  if (x.num_columns() == 0) {
+    return Status::InvalidArgument("tree needs at least one feature");
+  }
+  if (x.num_rows() != y.size() || y.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("rows (%zu) and labels (%zu) disagree or are empty",
+                  x.num_rows(), y.size()));
+  }
+  nodes_.clear();
+  num_features_ = x.num_columns();
+  importances_.assign(num_features_, 0.0);
+  if (options_.task == data::TaskType::kClassification) {
+    int max_class = 0;
+    for (double label : y) {
+      max_class = std::max(max_class, static_cast<int>(label));
+    }
+    num_classes_ = max_class + 1;
+  }
+  std::vector<size_t> indices(y.size());
+  std::iota(indices.begin(), indices.end(), size_t{0});
+  Rng rng(options_.seed);
+  BuildNode(x, y, indices, 0, &rng);
+  return Status::OK();
+}
+
+DecisionTree::Node DecisionTree::MakeLeaf(
+    const std::vector<double>& y, const std::vector<size_t>& indices) const {
+  Node leaf;
+  if (options_.task == data::TaskType::kClassification) {
+    std::map<int, size_t> counts;
+    size_t positives = 0;
+    for (size_t i : indices) {
+      const int cls = static_cast<int>(y[i]);
+      ++counts[cls];
+      if (cls == 1) ++positives;
+    }
+    size_t best_count = 0;
+    int best_class = 0;
+    for (const auto& [cls, count] : counts) {
+      if (count > best_count) {
+        best_count = count;
+        best_class = cls;
+      }
+    }
+    leaf.value = static_cast<double>(best_class);
+    leaf.proba = indices.empty()
+                     ? 0.0
+                     : static_cast<double>(positives) /
+                           static_cast<double>(indices.size());
+  } else {
+    double sum = 0.0;
+    for (size_t i : indices) sum += y[i];
+    leaf.value = indices.empty()
+                     ? 0.0
+                     : sum / static_cast<double>(indices.size());
+    leaf.proba = leaf.value;
+  }
+  return leaf;
+}
+
+DecisionTree::SplitResult DecisionTree::FindBestSplit(
+    const data::DataFrame& x, const std::vector<double>& y,
+    const std::vector<size_t>& indices, Rng* rng) {
+  SplitResult best;
+  const size_t n = indices.size();
+  const bool classification =
+      options_.task == data::TaskType::kClassification;
+
+  // Parent impurity.
+  double parent_impurity;
+  double sum_y = 0.0, sum_y2 = 0.0;
+  std::map<int, size_t> parent_counts;
+  if (classification) {
+    for (size_t i : indices) ++parent_counts[static_cast<int>(y[i])];
+    parent_impurity = Gini(parent_counts, n);
+  } else {
+    for (size_t i : indices) {
+      sum_y += y[i];
+      sum_y2 += y[i] * y[i];
+    }
+    const double mean = sum_y / static_cast<double>(n);
+    parent_impurity = sum_y2 / static_cast<double>(n) - mean * mean;
+  }
+  if (parent_impurity <= 1e-12) return best;  // Pure node.
+
+  // Candidate features (random subset when max_features is set).
+  std::vector<size_t> features;
+  if (options_.max_features > 0 && options_.max_features < num_features_) {
+    features = rng->SampleWithoutReplacement(num_features_,
+                                             options_.max_features);
+  } else {
+    features.resize(num_features_);
+    std::iota(features.begin(), features.end(), size_t{0});
+  }
+
+  std::vector<std::pair<double, size_t>> sorted;  // (value, sample index)
+  sorted.reserve(n);
+  for (size_t f : features) {
+    const data::Column& col = x.column(f);
+    sorted.clear();
+    for (size_t i : indices) sorted.emplace_back(col[i], i);
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;  // Constant.
+
+    if (classification) {
+      std::map<int, size_t> left_counts;
+      size_t left_n = 0;
+      std::map<int, size_t> right_counts = parent_counts;
+      for (size_t pos = 0; pos + 1 < n; ++pos) {
+        const int cls = static_cast<int>(y[sorted[pos].second]);
+        ++left_counts[cls];
+        --right_counts[cls];
+        ++left_n;
+        if (sorted[pos].first == sorted[pos + 1].first) continue;
+        const size_t right_n = n - left_n;
+        if (left_n < options_.min_samples_leaf ||
+            right_n < options_.min_samples_leaf) {
+          continue;
+        }
+        const double wl = static_cast<double>(left_n) / static_cast<double>(n);
+        const double impurity = wl * Gini(left_counts, left_n) +
+                                (1.0 - wl) * Gini(right_counts, right_n);
+        const double gain = parent_impurity - impurity;
+        if (gain > best.gain) {
+          best.gain = gain;
+          best.feature = static_cast<int>(f);
+          best.threshold = 0.5 * (sorted[pos].first + sorted[pos + 1].first);
+        }
+      }
+    } else {
+      double left_sum = 0.0, left_sum2 = 0.0;
+      size_t left_n = 0;
+      for (size_t pos = 0; pos + 1 < n; ++pos) {
+        const double value = y[sorted[pos].second];
+        left_sum += value;
+        left_sum2 += value * value;
+        ++left_n;
+        if (sorted[pos].first == sorted[pos + 1].first) continue;
+        const size_t right_n = n - left_n;
+        if (left_n < options_.min_samples_leaf ||
+            right_n < options_.min_samples_leaf) {
+          continue;
+        }
+        const double right_sum = sum_y - left_sum;
+        const double right_sum2 = sum_y2 - left_sum2;
+        const double lm = left_sum / static_cast<double>(left_n);
+        const double rm = right_sum / static_cast<double>(right_n);
+        const double left_var =
+            left_sum2 / static_cast<double>(left_n) - lm * lm;
+        const double right_var =
+            right_sum2 / static_cast<double>(right_n) - rm * rm;
+        const double wl = static_cast<double>(left_n) / static_cast<double>(n);
+        const double impurity = wl * left_var + (1.0 - wl) * right_var;
+        const double gain = parent_impurity - impurity;
+        if (gain > best.gain) {
+          best.gain = gain;
+          best.feature = static_cast<int>(f);
+          best.threshold = 0.5 * (sorted[pos].first + sorted[pos + 1].first);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+int DecisionTree::BuildNode(const data::DataFrame& x,
+                            const std::vector<double>& y,
+                            std::vector<size_t>& indices, size_t depth,
+                            Rng* rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(MakeLeaf(y, indices));
+  if (depth >= options_.max_depth ||
+      indices.size() < options_.min_samples_split) {
+    return node_id;
+  }
+  const SplitResult split = FindBestSplit(x, y, indices, rng);
+  if (split.feature < 0 || split.gain <= 1e-12) return node_id;
+
+  const data::Column& col = x.column(static_cast<size_t>(split.feature));
+  std::vector<size_t> left_idx, right_idx;
+  left_idx.reserve(indices.size());
+  right_idx.reserve(indices.size());
+  for (size_t i : indices) {
+    (col[i] <= split.threshold ? left_idx : right_idx).push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  importances_[static_cast<size_t>(split.feature)] +=
+      split.gain * static_cast<double>(indices.size());
+
+  // Free the parent's index list before recursing to bound peak memory.
+  indices.clear();
+  indices.shrink_to_fit();
+
+  const int left = BuildNode(x, y, left_idx, depth + 1, rng);
+  const int right = BuildNode(x, y, right_idx, depth + 1, rng);
+  nodes_[node_id].feature = split.feature;
+  nodes_[node_id].threshold = split.threshold;
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+size_t DecisionTree::TraverseToLeaf(const data::DataFrame& x,
+                                    size_t row) const {
+  size_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const double value =
+        x.column(static_cast<size_t>(nodes_[node].feature))[row];
+    node = static_cast<size_t>(value <= nodes_[node].threshold
+                                   ? nodes_[node].left
+                                   : nodes_[node].right);
+  }
+  return node;
+}
+
+Result<std::vector<double>> DecisionTree::Predict(
+    const data::DataFrame& x) const {
+  if (nodes_.empty()) {
+    return Status::FailedPrecondition("tree is not fitted");
+  }
+  if (x.num_columns() != num_features_) {
+    return Status::InvalidArgument(
+        StrFormat("tree fitted on %zu features, got %zu", num_features_,
+                  x.num_columns()));
+  }
+  std::vector<double> out(x.num_rows());
+  for (size_t r = 0; r < x.num_rows(); ++r) {
+    out[r] = nodes_[TraverseToLeaf(x, r)].value;
+  }
+  return out;
+}
+
+Result<std::vector<double>> DecisionTree::PredictProba(
+    const data::DataFrame& x) const {
+  if (nodes_.empty()) {
+    return Status::FailedPrecondition("tree is not fitted");
+  }
+  if (x.num_columns() != num_features_) {
+    return Status::InvalidArgument(
+        StrFormat("tree fitted on %zu features, got %zu", num_features_,
+                  x.num_columns()));
+  }
+  std::vector<double> out(x.num_rows());
+  for (size_t r = 0; r < x.num_rows(); ++r) {
+    out[r] = nodes_[TraverseToLeaf(x, r)].proba;
+  }
+  return out;
+}
+
+}  // namespace eafe::ml

@@ -1,0 +1,84 @@
+#ifndef EAFE_ML_DECISION_TREE_H_
+#define EAFE_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "data/dataframe.h"
+#include "ml/model.h"
+
+namespace eafe::ml {
+
+/// CART decision tree for classification (Gini) and regression (variance
+/// reduction), with numeric threshold splits. Supports per-split feature
+/// subsampling so RandomForest can decorrelate its trees.
+class DecisionTree : public Model {
+ public:
+  struct Options {
+    data::TaskType task = data::TaskType::kClassification;
+    size_t max_depth = 8;
+    size_t min_samples_leaf = 2;
+    size_t min_samples_split = 4;
+    /// Features considered per split; 0 means all.
+    size_t max_features = 0;
+    uint64_t seed = 1;
+  };
+
+  DecisionTree() : DecisionTree(Options()) {}
+  explicit DecisionTree(const Options& options);
+
+  Status Fit(const data::DataFrame& x, const std::vector<double>& y) override;
+  Result<std::vector<double>> Predict(
+      const data::DataFrame& x) const override;
+  data::TaskType task() const override { return options_.task; }
+
+  /// For binary classification: fraction of class-1 training samples in
+  /// the reached leaf.
+  Result<std::vector<double>> PredictProba(const data::DataFrame& x) const;
+
+  /// Total impurity decrease attributed to each feature during training
+  /// (unnormalized). Empty before Fit.
+  const std::vector<double>& feature_importances() const {
+    return importances_;
+  }
+
+  size_t node_count() const { return nodes_.size(); }
+  bool fitted() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    int feature = -1;          ///< -1 marks a leaf.
+    double threshold = 0.0;    ///< Go left if x[feature] <= threshold.
+    int left = -1;
+    int right = -1;
+    double value = 0.0;        ///< Leaf prediction (majority class / mean).
+    double proba = 0.0;        ///< Leaf P(class == 1) for binary tasks.
+  };
+
+  struct SplitResult {
+    int feature = -1;
+    double threshold = 0.0;
+    double gain = 0.0;
+  };
+
+  int BuildNode(const data::DataFrame& x, const std::vector<double>& y,
+                std::vector<size_t>& indices, size_t depth, Rng* rng);
+  SplitResult FindBestSplit(const data::DataFrame& x,
+                            const std::vector<double>& y,
+                            const std::vector<size_t>& indices, Rng* rng);
+  Node MakeLeaf(const std::vector<double>& y,
+                const std::vector<size_t>& indices) const;
+  size_t TraverseToLeaf(const data::DataFrame& x, size_t row) const;
+
+  Options options_;
+  std::vector<Node> nodes_;
+  std::vector<double> importances_;
+  size_t num_features_ = 0;
+  int num_classes_ = 0;
+};
+
+}  // namespace eafe::ml
+
+#endif  // EAFE_ML_DECISION_TREE_H_

@@ -1,0 +1,51 @@
+#ifndef EAFE_ML_GAUSSIAN_PROCESS_H_
+#define EAFE_ML_GAUSSIAN_PROCESS_H_
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "data/scaler.h"
+#include "ml/model.h"
+
+namespace eafe::ml {
+
+/// Gaussian-process regression with an RBF kernel and observation noise,
+/// solved exactly by Cholesky factorization. Table V's "GP" downstream
+/// task for regression rows. Training is O(n^3): inputs larger than
+/// `max_training_rows` are deterministically subsampled (seeded by
+/// `subsample_seed`) before fitting, the standard sparsification shortcut
+/// for exact GPs at this scale.
+class GaussianProcessRegressor : public Model {
+ public:
+  struct Options {
+    double length_scale = 1.0;
+    double signal_variance = 1.0;
+    double noise_variance = 1e-2;
+    size_t max_training_rows = 1200;
+    uint64_t subsample_seed = 97;
+  };
+
+  GaussianProcessRegressor() : GaussianProcessRegressor(Options()) {}
+  explicit GaussianProcessRegressor(const Options& options);
+
+  Status Fit(const data::DataFrame& x, const std::vector<double>& y) override;
+  Result<std::vector<double>> Predict(
+      const data::DataFrame& x) const override;
+  data::TaskType task() const override { return data::TaskType::kRegression; }
+
+  bool fitted() const { return !alpha_.empty(); }
+
+ private:
+  double Kernel(const double* a, const double* b, size_t dim) const;
+
+  Options options_;
+  data::StandardScaler scaler_;
+  Matrix train_x_;             ///< Standardized training inputs.
+  std::vector<double> alpha_;  ///< K^-1 (y - mean).
+  double label_mean_ = 0.0;
+  size_t num_features_ = 0;
+};
+
+}  // namespace eafe::ml
+
+#endif  // EAFE_ML_GAUSSIAN_PROCESS_H_

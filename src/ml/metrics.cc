@@ -1,0 +1,122 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+#include <map>
+
+#include "core/check.h"
+
+namespace eafe::ml {
+namespace {
+
+struct ClassCounts {
+  double tp = 0, fp = 0, fn = 0, support = 0;
+  double F1() const {
+    const double precision = tp + fp > 0 ? tp / (tp + fp) : 0.0;
+    const double recall = tp + fn > 0 ? tp / (tp + fn) : 0.0;
+    return precision + recall > 0.0
+               ? 2.0 * precision * recall / (precision + recall)
+               : 0.0;
+  }
+};
+
+std::map<int, ClassCounts> PerClassCounts(
+    const std::vector<double>& truth, const std::vector<double>& predicted) {
+  EAFE_CHECK_EQ(truth.size(), predicted.size());
+  std::map<int, ClassCounts> counts;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const int t = static_cast<int>(truth[i]);
+    const int p = static_cast<int>(predicted[i]);
+    counts[t].support += 1.0;
+    if (t == p) {
+      counts[t].tp += 1.0;
+    } else {
+      counts[t].fn += 1.0;
+      counts[p].fp += 1.0;
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+double Accuracy(const std::vector<double>& truth,
+                const std::vector<double>& predicted) {
+  EAFE_CHECK_EQ(truth.size(), predicted.size());
+  if (truth.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (static_cast<int>(truth[i]) == static_cast<int>(predicted[i])) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+double F1Weighted(const std::vector<double>& truth,
+                  const std::vector<double>& predicted) {
+  if (truth.empty()) return 0.0;
+  const auto counts = PerClassCounts(truth, predicted);
+  double weighted = 0.0;
+  double total_support = 0.0;
+  for (const auto& [cls, c] : counts) {
+    (void)cls;
+    weighted += c.support * c.F1();
+    total_support += c.support;
+  }
+  return total_support > 0.0 ? weighted / total_support : 0.0;
+}
+
+double F1Macro(const std::vector<double>& truth,
+               const std::vector<double>& predicted) {
+  if (truth.empty()) return 0.0;
+  const auto counts = PerClassCounts(truth, predicted);
+  // Only classes present in the ground truth contribute, mirroring
+  // sklearn's behaviour with labels=unique(y_true).
+  double sum = 0.0;
+  size_t n_classes = 0;
+  for (const auto& [cls, c] : counts) {
+    (void)cls;
+    if (c.support == 0.0) continue;
+    sum += c.F1();
+    ++n_classes;
+  }
+  return n_classes > 0 ? sum / static_cast<double>(n_classes) : 0.0;
+}
+
+double OneMinusRae(const std::vector<double>& truth,
+                   const std::vector<double>& predicted) {
+  EAFE_CHECK_EQ(truth.size(), predicted.size());
+  if (truth.empty()) return 0.0;
+  double mean = 0.0;
+  for (double y : truth) mean += y;
+  mean /= static_cast<double>(truth.size());
+  double err = 0.0;
+  double baseline = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    err += std::fabs(predicted[i] - truth[i]);
+    baseline += std::fabs(mean - truth[i]);
+  }
+  if (baseline == 0.0) return err == 0.0 ? 1.0 : 0.0;
+  return 1.0 - err / baseline;
+}
+
+double MeanSquaredError(const std::vector<double>& truth,
+                        const std::vector<double>& predicted) {
+  EAFE_CHECK_EQ(truth.size(), predicted.size());
+  if (truth.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double d = predicted[i] - truth[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+double TaskScore(data::TaskType task, const std::vector<double>& truth,
+                 const std::vector<double>& predicted) {
+  return task == data::TaskType::kClassification
+             ? F1Weighted(truth, predicted)
+             : OneMinusRae(truth, predicted);
+}
+
+}  // namespace eafe::ml

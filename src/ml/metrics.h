@@ -1,0 +1,42 @@
+#ifndef EAFE_ML_METRICS_H_
+#define EAFE_ML_METRICS_H_
+
+#include <vector>
+
+#include "core/status.h"
+#include "data/dataframe.h"
+
+namespace eafe::ml {
+
+/// Classification accuracy over integer-valued labels.
+double Accuracy(const std::vector<double>& truth,
+                const std::vector<double>& predicted);
+
+/// Weighted-average F1 over all classes (each class's F1 weighted by its
+/// support), matching the paper's protocol of reporting F1 on multi-class
+/// sets. Equals the binary F1 computed symmetrically for balanced binary
+/// problems.
+double F1Weighted(const std::vector<double>& truth,
+                  const std::vector<double>& predicted);
+
+/// Macro-average F1 (unweighted mean of per-class F1).
+double F1Macro(const std::vector<double>& truth,
+               const std::vector<double>& predicted);
+
+/// 1 - relative absolute error: 1 - sum|y_hat - y| / sum|mean(y) - y|.
+/// The paper's regression metric; can be negative for very poor fits.
+double OneMinusRae(const std::vector<double>& truth,
+                   const std::vector<double>& predicted);
+
+/// Mean squared error.
+double MeanSquaredError(const std::vector<double>& truth,
+                        const std::vector<double>& predicted);
+
+/// The paper's task score: F1 (weighted) for classification, 1-RAE for
+/// regression.
+double TaskScore(data::TaskType task, const std::vector<double>& truth,
+                 const std::vector<double>& predicted);
+
+}  // namespace eafe::ml
+
+#endif  // EAFE_ML_METRICS_H_

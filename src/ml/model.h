@@ -1,0 +1,52 @@
+#ifndef EAFE_ML_MODEL_H_
+#define EAFE_ML_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/status.h"
+#include "data/dataframe.h"
+
+namespace eafe::ml {
+
+/// Common interface for supervised models. A model handles exactly one
+/// task type; `Fit` fails on inconsistent inputs rather than throwing.
+/// Predictions are class ids (classification) or real values (regression),
+/// matching Dataset's label convention.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Trains on the feature frame and aligned labels. May be called again
+  /// to refit from scratch.
+  virtual Status Fit(const data::DataFrame& x,
+                     const std::vector<double>& y) = 0;
+
+  /// Predicts a label per row. Requires a prior successful Fit with the
+  /// same column count.
+  virtual Result<std::vector<double>> Predict(
+      const data::DataFrame& x) const = 0;
+
+  /// The task this model solves.
+  virtual data::TaskType task() const = 0;
+};
+
+/// Extension for classifiers that expose P(class == 1) for binary
+/// problems — needed by the FPE reward shaping (Eq. 7-8).
+class ProbabilisticClassifier : public Model {
+ public:
+  data::TaskType task() const override {
+    return data::TaskType::kClassification;
+  }
+
+  /// P(label == 1) per row; only meaningful for binary problems.
+  virtual Result<std::vector<double>> PredictProba(
+      const data::DataFrame& x) const = 0;
+};
+
+using ModelFactory = std::function<std::unique_ptr<Model>()>;
+
+}  // namespace eafe::ml
+
+#endif  // EAFE_ML_MODEL_H_

@@ -1,0 +1,47 @@
+#ifndef EAFE_ML_NAIVE_BAYES_H_
+#define EAFE_ML_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace eafe::ml {
+
+/// Gaussian naive Bayes classifier: per-class, per-feature Gaussians with
+/// a variance floor for numerical stability. Table V's "NB" downstream
+/// task.
+class GaussianNaiveBayes : public ProbabilisticClassifier {
+ public:
+  struct Options {
+    /// Added to every per-feature variance (relative to the largest
+    /// feature variance), mirroring sklearn's var_smoothing.
+    double var_smoothing = 1e-9;
+  };
+
+  GaussianNaiveBayes() : GaussianNaiveBayes(Options()) {}
+  explicit GaussianNaiveBayes(const Options& options);
+
+  Status Fit(const data::DataFrame& x, const std::vector<double>& y) override;
+  Result<std::vector<double>> Predict(
+      const data::DataFrame& x) const override;
+  Result<std::vector<double>> PredictProba(
+      const data::DataFrame& x) const override;
+
+  bool fitted() const { return !class_priors_.empty(); }
+  size_t num_classes() const { return class_priors_.size(); }
+
+ private:
+  /// Per-row log joint likelihood for every class.
+  Result<std::vector<std::vector<double>>> LogJoint(
+      const data::DataFrame& x) const;
+
+  Options options_;
+  std::vector<double> class_priors_;            ///< log P(class).
+  std::vector<std::vector<double>> means_;      ///< [class][feature].
+  std::vector<std::vector<double>> variances_;  ///< [class][feature].
+  size_t num_features_ = 0;
+};
+
+}  // namespace eafe::ml
+
+#endif  // EAFE_ML_NAIVE_BAYES_H_

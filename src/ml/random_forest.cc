@@ -1,0 +1,135 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace eafe::ml {
+
+RandomForest::RandomForest(const Options& options) : options_(options) {}
+
+Status RandomForest::Fit(const data::DataFrame& x,
+                         const std::vector<double>& y) {
+  if (options_.num_trees == 0) {
+    return Status::InvalidArgument("num_trees must be positive");
+  }
+  if (x.num_rows() != y.size() || y.empty()) {
+    return Status::InvalidArgument("rows and labels disagree or are empty");
+  }
+  if (options_.subsample <= 0.0 || options_.subsample > 1.0) {
+    return Status::InvalidArgument("subsample must be in (0, 1]");
+  }
+  trees_.clear();
+  num_features_ = x.num_columns();
+
+  size_t max_features = options_.max_features;
+  if (max_features == 0) {
+    max_features =
+        options_.task == data::TaskType::kClassification
+            ? static_cast<size_t>(
+                  std::ceil(std::sqrt(static_cast<double>(num_features_))))
+            : std::max<size_t>(num_features_ / 3, 1);
+  }
+  max_features = std::min(max_features, num_features_);
+
+  Rng rng(options_.seed);
+  const size_t n = y.size();
+  const size_t sample_size = std::max<size_t>(
+      1, static_cast<size_t>(std::round(options_.subsample *
+                                        static_cast<double>(n))));
+  trees_.reserve(options_.num_trees);
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    // Bootstrap sample (with replacement).
+    std::vector<size_t> sample(sample_size);
+    for (size_t& s : sample) s = rng.UniformInt(static_cast<uint64_t>(n));
+    data::DataFrame xt = x.SelectRows(sample);
+    std::vector<double> yt(sample_size);
+    for (size_t i = 0; i < sample_size; ++i) yt[i] = y[sample[i]];
+
+    DecisionTree::Options tree_options;
+    tree_options.task = options_.task;
+    tree_options.max_depth = options_.max_depth;
+    tree_options.min_samples_leaf = options_.min_samples_leaf;
+    tree_options.max_features = max_features;
+    tree_options.seed = rng.Next();
+    DecisionTree tree(tree_options);
+    EAFE_RETURN_NOT_OK(tree.Fit(xt, yt));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> RandomForest::Predict(
+    const data::DataFrame& x) const {
+  if (trees_.empty()) {
+    return Status::FailedPrecondition("forest is not fitted");
+  }
+  if (x.num_columns() != num_features_) {
+    return Status::InvalidArgument(
+        StrFormat("forest fitted on %zu features, got %zu", num_features_,
+                  x.num_columns()));
+  }
+  const size_t n = x.num_rows();
+  if (options_.task == data::TaskType::kRegression) {
+    std::vector<double> sum(n, 0.0);
+    for (const DecisionTree& tree : trees_) {
+      EAFE_ASSIGN_OR_RETURN(std::vector<double> pred, tree.Predict(x));
+      for (size_t i = 0; i < n; ++i) sum[i] += pred[i];
+    }
+    for (double& v : sum) v /= static_cast<double>(trees_.size());
+    return sum;
+  }
+  // Majority vote.
+  std::vector<std::map<int, size_t>> votes(n);
+  for (const DecisionTree& tree : trees_) {
+    EAFE_ASSIGN_OR_RETURN(std::vector<double> pred, tree.Predict(x));
+    for (size_t i = 0; i < n; ++i) ++votes[i][static_cast<int>(pred[i])];
+  }
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t best_count = 0;
+    int best_class = 0;
+    for (const auto& [cls, count] : votes[i]) {
+      if (count > best_count) {
+        best_count = count;
+        best_class = cls;
+      }
+    }
+    out[i] = static_cast<double>(best_class);
+  }
+  return out;
+}
+
+Result<std::vector<double>> RandomForest::PredictProba(
+    const data::DataFrame& x) const {
+  if (trees_.empty()) {
+    return Status::FailedPrecondition("forest is not fitted");
+  }
+  const size_t n = x.num_rows();
+  std::vector<double> sum(n, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    EAFE_ASSIGN_OR_RETURN(std::vector<double> proba, tree.PredictProba(x));
+    for (size_t i = 0; i < n; ++i) sum[i] += proba[i];
+  }
+  for (double& v : sum) v /= static_cast<double>(trees_.size());
+  return sum;
+}
+
+std::vector<double> RandomForest::FeatureImportances() const {
+  std::vector<double> total(num_features_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double>& imp = tree.feature_importances();
+    for (size_t f = 0; f < num_features_; ++f) total[f] += imp[f];
+  }
+  double sum = 0.0;
+  for (double v : total) sum += v;
+  if (sum > 0.0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+}  // namespace eafe::ml

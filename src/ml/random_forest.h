@@ -1,0 +1,58 @@
+#ifndef EAFE_ML_RANDOM_FOREST_H_
+#define EAFE_ML_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "ml/decision_tree.h"
+#include "ml/model.h"
+
+namespace eafe::ml {
+
+/// Bagged random forest over CART trees — the paper's downstream task
+/// model (following NFS). Classification predicts by majority vote,
+/// regression by mean; PredictProba returns the vote fraction for class 1.
+class RandomForest : public Model {
+ public:
+  struct Options {
+    data::TaskType task = data::TaskType::kClassification;
+    size_t num_trees = 10;
+    size_t max_depth = 8;
+    size_t min_samples_leaf = 2;
+    /// Features per split; 0 means sqrt(num_features) for classification
+    /// and num_features/3 for regression (the standard defaults).
+    size_t max_features = 0;
+    /// Bootstrap sample size as a fraction of the training set.
+    double subsample = 1.0;
+    uint64_t seed = 1;
+  };
+
+  RandomForest() : RandomForest(Options()) {}
+  explicit RandomForest(const Options& options);
+
+  Status Fit(const data::DataFrame& x, const std::vector<double>& y) override;
+  Result<std::vector<double>> Predict(
+      const data::DataFrame& x) const override;
+  data::TaskType task() const override { return options_.task; }
+
+  /// Vote fraction for class 1 (binary classification) or mean prediction
+  /// (regression).
+  Result<std::vector<double>> PredictProba(const data::DataFrame& x) const;
+
+  /// Mean impurity-decrease importance per feature, normalized to sum to 1
+  /// (zeros if no split used any feature). The paper uses RF importances
+  /// to pre-select features on very wide datasets.
+  std::vector<double> FeatureImportances() const;
+
+  size_t num_trees() const { return trees_.size(); }
+  bool fitted() const { return !trees_.empty(); }
+
+ private:
+  Options options_;
+  std::vector<DecisionTree> trees_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace eafe::ml
+
+#endif  // EAFE_ML_RANDOM_FOREST_H_

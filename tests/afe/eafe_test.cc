@@ -1,0 +1,181 @@
+#include "afe/eafe.h"
+
+#include <gtest/gtest.h>
+
+#include "afe/fpe_pretraining.h"
+#include "data/registry.h"
+#include "data/synthetic.h"
+
+namespace eafe::afe {
+namespace {
+
+SearchOptions QuickSearch() {
+  SearchOptions options;
+  options.epochs = 3;
+  options.steps_per_agent = 2;
+  options.evaluator.cv_folds = 3;
+  options.evaluator.rf_trees = 5;
+  options.evaluator.rf_max_depth = 4;
+  options.seed = 21;
+  return options;
+}
+
+data::Dataset SmallTarget() {
+  data::MaterializeOptions options;
+  options.max_samples = 200;
+  options.max_features = 6;
+  return data::MakeTargetDatasetByName("credit-a", options).ValueOrDie();
+}
+
+/// Shared FPE model (trained once; training is the slow part).
+const fpe::FpeTrainingResult& SharedFpe() {
+  static const auto* kResult = [] {
+    FpePretrainingOptions options;
+    options.trainer.dimensions = {16};
+    options.trainer.schemes = {hashing::MinHashScheme::kCcws};
+    options.trainer.evaluator.cv_folds = 3;
+    options.trainer.evaluator.rf_trees = 5;
+    options.trainer.evaluator.rf_max_depth = 4;
+    options.generated_per_dataset = 8;
+    auto result =
+        PretrainFpe(data::MakePublicCollection(5, 0.6, 77), options);
+    EAFE_CHECK(result.ok());
+    return new fpe::FpeTrainingResult(std::move(result).ValueOrDie());
+  }();
+  return *kResult;
+}
+
+TEST(EafeSearchTest, FullVariantRuns) {
+  EafeSearch::Options options;
+  options.search = QuickSearch();
+  options.fpe_model = &SharedFpe().model;
+  options.stage1_epochs = 2;
+  EafeSearch search(options);
+  EXPECT_EQ(search.name(), "E-AFE");
+  const SearchResult result = search.Run(SmallTarget()).ValueOrDie();
+  EXPECT_GE(result.best_score, result.base_score - 0.02);  // Honest re-scoring can dip slightly.
+  EXPECT_GE(result.search_score, result.base_score - 1e-9);
+  EXPECT_EQ(result.curve.size(), 3u);
+  EXPECT_TRUE(result.best_dataset.Validate().ok());
+}
+
+TEST(EafeSearchTest, FilterReducesDownstreamEvaluations) {
+  // Core efficiency claim (Table IV): E-AFE evaluates fewer candidates
+  // than it generates; with single-attempt semantics the evaluated count
+  // is at most the step budget and strictly less than generated+1.
+  EafeSearch::Options options;
+  options.search = QuickSearch();
+  options.search.epochs = 4;
+  options.fpe_model = &SharedFpe().model;
+  options.stage1_epochs = 1;
+  EafeSearch search(options);
+  const SearchResult result = search.Run(SmallTarget()).ValueOrDie();
+  EXPECT_LT(result.features_evaluated, result.features_generated);
+  EXPECT_EQ(result.downstream_evaluations, result.features_evaluated + 1);
+}
+
+TEST(EafeSearchTest, Stage1FillsReplayBuffer) {
+  EafeSearch::Options options;
+  options.search = QuickSearch();
+  options.fpe_model = &SharedFpe().model;
+  options.stage1_epochs = 4;
+  EafeSearch search(options);
+  ASSERT_TRUE(search.Run(SmallTarget()).ok());
+  // The FPE model passes some candidates, so stage 1 stores actions.
+  EXPECT_GT(search.replay_buffer().size(), 0u);
+  for (const ReplayEntry& e : search.replay_buffer().entries()) {
+    EXPECT_GE(e.fpe_probability, 0.5);
+  }
+}
+
+TEST(EafeSearchTest, RandomDropVariantNeedsNoModel) {
+  EafeSearch::Options options;
+  options.search = QuickSearch();
+  options.variant = EafeSearch::Variant::kRandomDrop;
+  options.random_drop_pass_rate = 0.5;
+  EafeSearch search(options);
+  EXPECT_EQ(search.name(), "E-AFE_D");
+  const SearchResult result = search.Run(SmallTarget()).ValueOrDie();
+  EXPECT_GE(result.best_score, result.base_score - 0.02);  // Honest re-scoring can dip slightly.
+  EXPECT_GE(result.search_score, result.base_score - 1e-9);
+  // Random drop also reduces evaluations vs generation.
+  EXPECT_LT(result.features_evaluated, result.features_generated + 1);
+}
+
+TEST(EafeSearchTest, PolicyGradientVariantRuns) {
+  EafeSearch::Options options;
+  options.search = QuickSearch();
+  options.variant = EafeSearch::Variant::kPolicyGradient;
+  options.fpe_model = &SharedFpe().model;
+  EafeSearch search(options);
+  EXPECT_EQ(search.name(), "E-AFE_R");
+  const SearchResult result = search.Run(SmallTarget()).ValueOrDie();
+  EXPECT_GE(result.best_score, result.base_score - 0.02);  // Honest re-scoring can dip slightly.
+  EXPECT_GE(result.search_score, result.base_score - 1e-9);
+}
+
+TEST(EafeSearchTest, RequiresModelUnlessRandomDrop) {
+  EafeSearch::Options options;
+  options.search = QuickSearch();
+  options.fpe_model = nullptr;
+  EXPECT_FALSE(EafeSearch(options).Run(SmallTarget()).ok());
+  options.variant = EafeSearch::Variant::kPolicyGradient;
+  EXPECT_FALSE(EafeSearch(options).Run(SmallTarget()).ok());
+  options.variant = EafeSearch::Variant::kRandomDrop;
+  EXPECT_TRUE(EafeSearch(options).Run(SmallTarget()).ok());
+}
+
+TEST(EafeSearchTest, RejectsBadDropRate) {
+  EafeSearch::Options options;
+  options.search = QuickSearch();
+  options.variant = EafeSearch::Variant::kRandomDrop;
+  options.random_drop_pass_rate = 0.0;
+  EXPECT_FALSE(EafeSearch(options).Run(SmallTarget()).ok());
+}
+
+TEST(EafeSearchTest, DeterministicGivenSeed) {
+  EafeSearch::Options options;
+  options.search = QuickSearch();
+  options.fpe_model = &SharedFpe().model;
+  options.stage1_epochs = 2;
+  EafeSearch a(options), b(options);
+  const SearchResult ra = a.Run(SmallTarget()).ValueOrDie();
+  const SearchResult rb = b.Run(SmallTarget()).ValueOrDie();
+  EXPECT_DOUBLE_EQ(ra.best_score, rb.best_score);
+  EXPECT_EQ(ra.downstream_evaluations, rb.downstream_evaluations);
+}
+
+TEST(EafeSearchTest, MultiAttemptGenerationEvaluatesMore) {
+  EafeSearch::Options single;
+  single.search = QuickSearch();
+  single.fpe_model = &SharedFpe().model;
+  single.stage1_epochs = 1;
+  single.max_generation_attempts = 1;
+  EafeSearch::Options multi = single;
+  multi.max_generation_attempts = 4;
+  const SearchResult rs =
+      EafeSearch(single).Run(SmallTarget()).ValueOrDie();
+  const SearchResult rm = EafeSearch(multi).Run(SmallTarget()).ValueOrDie();
+  EXPECT_GE(rm.features_evaluated, rs.features_evaluated);
+  EXPECT_GE(rm.features_generated, rs.features_generated);
+}
+
+TEST(LabelGeneratedCandidatesTest, ProducesLabeledCandidates) {
+  ml::EvaluatorOptions eval;
+  eval.cv_folds = 3;
+  eval.rf_trees = 5;
+  eval.rf_max_depth = 4;
+  ml::TaskEvaluator evaluator(eval);
+  const auto candidates =
+      LabelGeneratedCandidates(SmallTarget(), evaluator, 0.01, 10, 2, 5)
+          .ValueOrDie();
+  EXPECT_GT(candidates.size(), 0u);
+  EXPECT_LE(candidates.size(), 10u);
+  for (const auto& c : candidates) {
+    EXPECT_EQ(c.values.size(), SmallTarget().num_rows());
+    EXPECT_EQ(c.label, c.score_gain > 0.01 ? 1 : 0);
+  }
+}
+
+}  // namespace
+}  // namespace eafe::afe

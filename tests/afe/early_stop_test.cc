@@ -1,0 +1,98 @@
+// Early-stopping behaviour shared by all searches: a run whose greedy
+// search stops finding features quits after `early_stop_patience` stale
+// epochs; patience 0 always runs the full budget.
+
+#include <gtest/gtest.h>
+
+#include "afe/eafe.h"
+#include "afe/nfs.h"
+#include "afe/random_search.h"
+#include "core/rng.h"
+#include "data/registry.h"
+
+namespace eafe::afe {
+namespace {
+
+/// A dataset where engineered features essentially never help: pure
+/// noise columns and random labels, so greedy acceptance stays empty and
+/// early stopping must fire.
+data::Dataset NoiseDataset() {
+  Rng rng(41);
+  const size_t n = 80;
+  data::Dataset dataset;
+  dataset.name = "noise";
+  dataset.task = data::TaskType::kClassification;
+  for (int f = 0; f < 3; ++f) {
+    std::vector<double> values(n);
+    for (double& v : values) v = rng.Normal();
+    EXPECT_TRUE(dataset.features
+                    .AddColumn(data::Column("n" + std::to_string(f),
+                                            values))
+                    .ok());
+  }
+  dataset.labels.resize(n);
+  for (double& y : dataset.labels) {
+    y = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+  }
+  return dataset;
+}
+
+SearchOptions Options(size_t patience) {
+  SearchOptions options;
+  options.epochs = 10;
+  options.steps_per_agent = 2;
+  options.evaluator.cv_folds = 3;
+  options.evaluator.rf_trees = 4;
+  options.evaluator.rf_max_depth = 3;
+  options.accept_margin = 0.05;  // Nothing passes on noise.
+  options.early_stop_patience = patience;
+  options.seed = 77;
+  return options;
+}
+
+TEST(EarlyStopTest, RandomSearchStopsEarly) {
+  RandomSearch search(Options(2));
+  const auto result = search.Run(NoiseDataset()).ValueOrDie();
+  EXPECT_LE(result.curve.size(), 3u);  // Stops at epoch patience (2).
+}
+
+TEST(EarlyStopTest, NfsStopsEarly) {
+  NfsSearch search(Options(3));
+  const auto result = search.Run(NoiseDataset()).ValueOrDie();
+  EXPECT_LE(result.curve.size(), 4u);
+}
+
+TEST(EarlyStopTest, EafeRandomDropStopsEarly) {
+  EafeSearch::Options options;
+  options.search = Options(2);
+  options.variant = EafeSearch::Variant::kRandomDrop;
+  EafeSearch search(options);
+  const auto result = search.Run(NoiseDataset()).ValueOrDie();
+  EXPECT_LE(result.curve.size(), 3u);
+}
+
+TEST(EarlyStopTest, ZeroPatienceRunsFullBudget) {
+  RandomSearch search(Options(0));
+  const auto result = search.Run(NoiseDataset()).ValueOrDie();
+  EXPECT_EQ(result.curve.size(), 10u);
+}
+
+TEST(EarlyStopTest, AcceptingRunsKeepGoing) {
+  // On a learnable dataset with a generous margin, acceptances reset the
+  // patience clock, so the run lasts longer than the patience window.
+  data::MaterializeOptions mat;
+  mat.max_samples = 200;
+  mat.max_features = 6;
+  const data::Dataset dataset =
+      data::MakeTargetDatasetByName("credit-a", mat).ValueOrDie();
+  SearchOptions options = Options(2);
+  options.accept_margin = 0.0;
+  RandomSearch search(options);
+  const auto result = search.Run(dataset).ValueOrDie();
+  if (result.features_kept > 0) {
+    EXPECT_GT(result.curve.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace eafe::afe

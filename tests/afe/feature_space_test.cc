@@ -1,0 +1,207 @@
+#include "afe/feature_space.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace eafe::afe {
+namespace {
+
+data::Dataset MakeBase() {
+  data::Dataset dataset;
+  dataset.name = "base";
+  dataset.task = data::TaskType::kClassification;
+  EXPECT_TRUE(dataset.features.AddColumn(
+      data::Column("f0", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10})).ok());
+  EXPECT_TRUE(dataset.features.AddColumn(
+      data::Column("f1", {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})).ok());
+  dataset.labels = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  return dataset;
+}
+
+FeatureSpace::Options DefaultOptions() {
+  FeatureSpace::Options options;
+  options.max_order = 3;
+  options.max_generated_per_group = 4;
+  return options;
+}
+
+TEST(FeatureSpaceTest, InitialStateIsOriginalFeatures) {
+  FeatureSpace space(MakeBase(), DefaultOptions());
+  EXPECT_EQ(space.num_groups(), 2u);
+  EXPECT_EQ(space.group(0).size(), 1u);
+  EXPECT_EQ(space.group(0)[0].order, 0u);
+  EXPECT_EQ(space.num_generated(), 0u);
+  const data::Dataset current = space.ToDataset();
+  EXPECT_EQ(current.num_features(), 2u);
+}
+
+TEST(FeatureSpaceTest, GenerateAndAcceptExpandsState) {
+  FeatureSpace space(MakeBase(), DefaultOptions());
+  FeatureSpace::Action action;
+  action.group = 0;
+  action.op = Operator::kLog;
+  action.input_a = 0;
+  action.input_b_group = 0;
+  action.input_b = 0;
+  SpaceFeature feature = space.GenerateCandidate(action).ValueOrDie();
+  EXPECT_EQ(feature.order, 1u);
+  EXPECT_EQ(feature.column.name(), "log(f0)");
+  ASSERT_TRUE(space.Accept(0, std::move(feature)).ok());
+  EXPECT_EQ(space.group(0).size(), 2u);
+  EXPECT_EQ(space.num_generated(), 1u);
+  EXPECT_TRUE(space.Contains(0, "log(f0)"));
+  EXPECT_EQ(space.ToDataset().num_features(), 3u);
+}
+
+TEST(FeatureSpaceTest, CrossGroupBinaryOperand) {
+  FeatureSpace space(MakeBase(), DefaultOptions());
+  FeatureSpace::Action action;
+  action.group = 0;
+  action.op = Operator::kMultiply;
+  action.input_a = 0;
+  action.input_b_group = 1;
+  action.input_b = 0;
+  const SpaceFeature feature =
+      space.GenerateCandidate(action).ValueOrDie();
+  EXPECT_EQ(feature.column.name(), "(f0*f1)");
+  EXPECT_DOUBLE_EQ(feature.column[1], 8.0);  // 2 * 4.
+}
+
+TEST(FeatureSpaceTest, DuplicateRejected) {
+  FeatureSpace space(MakeBase(), DefaultOptions());
+  FeatureSpace::Action action;
+  action.group = 0;
+  action.op = Operator::kSqrt;
+  action.input_a = 0;
+  action.input_b_group = 0;
+  action.input_b = 0;
+  ASSERT_TRUE(space.Accept(
+      0, space.GenerateCandidate(action).ValueOrDie()).ok());
+  const auto again = space.GenerateCandidate(action);
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(FeatureSpaceTest, MaxOrderEnforced) {
+  FeatureSpace::Options options = DefaultOptions();
+  options.max_order = 1;
+  FeatureSpace space(MakeBase(), options);
+  FeatureSpace::Action action;
+  action.group = 0;
+  action.op = Operator::kLog;
+  action.input_a = 0;
+  action.input_b_group = 0;
+  action.input_b = 0;
+  ASSERT_TRUE(space.Accept(
+      0, space.GenerateCandidate(action).ValueOrDie()).ok());
+  // Transforming the order-1 feature would exceed max_order = 1.
+  action.op = Operator::kSqrt;
+  action.input_a = 1;
+  action.input_b = 1;
+  EXPECT_EQ(space.GenerateCandidate(action).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FeatureSpaceTest, GroupCapacityEnforced) {
+  FeatureSpace::Options options = DefaultOptions();
+  options.max_generated_per_group = 1;
+  FeatureSpace space(MakeBase(), options);
+  FeatureSpace::Action action;
+  action.group = 0;
+  action.op = Operator::kLog;
+  action.input_a = 0;
+  action.input_b_group = 0;
+  action.input_b = 0;
+  ASSERT_TRUE(space.Accept(
+      0, space.GenerateCandidate(action).ValueOrDie()).ok());
+  action.op = Operator::kSqrt;
+  SpaceFeature second = space.GenerateCandidate(action).ValueOrDie();
+  EXPECT_EQ(space.Accept(0, std::move(second)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FeatureSpaceTest, ConstantCandidateRejected) {
+  FeatureSpace space(MakeBase(), DefaultOptions());
+  FeatureSpace::Action action;
+  action.group = 0;
+  action.op = Operator::kSubtract;  // f0 - f0 == 0 everywhere.
+  action.input_a = 0;
+  action.input_b_group = 0;
+  action.input_b = 0;
+  EXPECT_EQ(space.GenerateCandidate(action).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FeatureSpaceTest, UnaryRequiresSameOperand) {
+  FeatureSpace space(MakeBase(), DefaultOptions());
+  FeatureSpace::Action action;
+  action.group = 0;
+  action.op = Operator::kLog;
+  action.input_a = 0;
+  action.input_b_group = 1;
+  action.input_b = 0;
+  EXPECT_EQ(space.GenerateCandidate(action).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FeatureSpaceTest, OutOfRangeActionRejected) {
+  FeatureSpace space(MakeBase(), DefaultOptions());
+  FeatureSpace::Action action;
+  action.group = 9;
+  EXPECT_EQ(space.GenerateCandidate(action).status().code(),
+            StatusCode::kOutOfRange);
+  action.group = 0;
+  action.input_a = 5;
+  action.input_b_group = 0;
+  action.input_b = 5;
+  EXPECT_EQ(space.GenerateCandidate(action).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(FeatureSpaceTest, SampledActionsAreValid) {
+  FeatureSpace space(MakeBase(), DefaultOptions());
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const FeatureSpace::Action action = space.SampleRandomAction(0, &rng);
+    EXPECT_EQ(action.group, 0u);
+    EXPECT_LT(action.input_a, space.group(0).size());
+    EXPECT_LT(action.input_b_group, space.num_groups());
+    if (IsUnary(action.op)) {
+      EXPECT_EQ(action.input_b, action.input_a);
+      EXPECT_EQ(action.input_b_group, action.group);
+    }
+  }
+}
+
+TEST(FeatureSpaceTest, ToDatasetDeduplicatesNameCollisions) {
+  // minmax(f0) accepted into both groups produces a name collision that
+  // ToDataset must resolve by suffixing, not by dropping.
+  FeatureSpace space(MakeBase(), DefaultOptions());
+  FeatureSpace::Action action;
+  action.op = Operator::kMinMaxNormalize;
+  action.input_a = 0;
+  action.input_b = 0;
+  action.group = 0;
+  action.input_b_group = 0;
+  ASSERT_TRUE(space.Accept(
+      0, space.GenerateCandidate(action).ValueOrDie()).ok());
+  // Manually craft the same-named feature in group 1.
+  SpaceFeature clone;
+  clone.column = space.group(0)[1].column;
+  clone.order = 1;
+  ASSERT_TRUE(space.Accept(1, std::move(clone)).ok());
+  const data::Dataset dataset = space.ToDataset();
+  EXPECT_EQ(dataset.num_features(), 4u);
+}
+
+TEST(FeatureSpaceTest, ToDatasetPreservesLabelsAndTask) {
+  const data::Dataset base = MakeBase();
+  FeatureSpace space(base, DefaultOptions());
+  const data::Dataset current = space.ToDataset();
+  EXPECT_EQ(current.labels, base.labels);
+  EXPECT_EQ(current.task, base.task);
+  EXPECT_EQ(current.name, base.name);
+}
+
+}  // namespace
+}  // namespace eafe::afe

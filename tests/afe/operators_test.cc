@@ -1,0 +1,136 @@
+#include "afe/operators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eafe::afe {
+namespace {
+
+data::Column Col(std::string name, std::vector<double> values) {
+  return data::Column(std::move(name), std::move(values));
+}
+
+TEST(OperatorsTest, UnaryBinaryPartition) {
+  EXPECT_TRUE(IsUnary(Operator::kLog));
+  EXPECT_TRUE(IsUnary(Operator::kMinMaxNormalize));
+  EXPECT_TRUE(IsUnary(Operator::kSqrt));
+  EXPECT_TRUE(IsUnary(Operator::kReciprocal));
+  EXPECT_FALSE(IsUnary(Operator::kAdd));
+  EXPECT_FALSE(IsUnary(Operator::kSubtract));
+  EXPECT_FALSE(IsUnary(Operator::kMultiply));
+  EXPECT_FALSE(IsUnary(Operator::kDivide));
+  EXPECT_FALSE(IsUnary(Operator::kModulo));
+  EXPECT_EQ(AllOperators().size(), kNumOperators);
+}
+
+TEST(OperatorsTest, StringRoundTrip) {
+  for (Operator op : AllOperators()) {
+    EXPECT_EQ(OperatorFromString(OperatorToString(op)).ValueOrDie(), op);
+  }
+  EXPECT_FALSE(OperatorFromString("cube").ok());
+}
+
+TEST(OperatorsTest, LogIsTotalAndMonotoneInMagnitude) {
+  const auto out = ApplyOperator(Operator::kLog, Col("x", {0.0, -1.0, 9.0}),
+                                 Col("x", {0.0, -1.0, 9.0}))
+                       .ValueOrDie();
+  EXPECT_DOUBLE_EQ(out[0], 0.0);                 // log(0+1).
+  EXPECT_DOUBLE_EQ(out[1], std::log(2.0));       // log(|-1|+1).
+  EXPECT_DOUBLE_EQ(out[2], std::log(10.0));
+  EXPECT_EQ(out.name(), "log(x)");
+}
+
+TEST(OperatorsTest, MinMaxNormalize) {
+  const auto out = ApplyOperator(Operator::kMinMaxNormalize,
+                                 Col("x", {2.0, 4.0, 6.0}),
+                                 Col("x", {2.0, 4.0, 6.0}))
+                       .ValueOrDie();
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST(OperatorsTest, MinMaxOfConstantIsZero) {
+  const auto out = ApplyOperator(Operator::kMinMaxNormalize,
+                                 Col("c", {3.0, 3.0}), Col("c", {3.0, 3.0}))
+                       .ValueOrDie();
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
+TEST(OperatorsTest, SqrtUsesAbsoluteValue) {
+  const auto out = ApplyOperator(Operator::kSqrt, Col("x", {4.0, -9.0}),
+                                 Col("x", {4.0, -9.0}))
+                       .ValueOrDie();
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+}
+
+TEST(OperatorsTest, ReciprocalGuardsZero) {
+  const auto out = ApplyOperator(Operator::kReciprocal,
+                                 Col("x", {2.0, 0.0, -4.0}),
+                                 Col("x", {2.0, 0.0, -4.0}))
+                       .ValueOrDie();
+  EXPECT_DOUBLE_EQ(out[0], 0.5);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(out[2], -0.25);
+}
+
+TEST(OperatorsTest, BinaryArithmetic) {
+  const data::Column a = Col("a", {6.0, 8.0});
+  const data::Column b = Col("b", {3.0, 2.0});
+  EXPECT_DOUBLE_EQ(
+      ApplyOperator(Operator::kAdd, a, b).ValueOrDie()[0], 9.0);
+  EXPECT_DOUBLE_EQ(
+      ApplyOperator(Operator::kSubtract, a, b).ValueOrDie()[1], 6.0);
+  EXPECT_DOUBLE_EQ(
+      ApplyOperator(Operator::kMultiply, a, b).ValueOrDie()[0], 18.0);
+  EXPECT_DOUBLE_EQ(
+      ApplyOperator(Operator::kDivide, a, b).ValueOrDie()[1], 4.0);
+}
+
+TEST(OperatorsTest, DivideGuardsZeroDenominator) {
+  const auto out = ApplyOperator(Operator::kDivide, Col("a", {1.0, 2.0}),
+                                 Col("b", {0.0, 4.0}))
+                       .ValueOrDie();
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+}
+
+TEST(OperatorsTest, ModuloUsesAbsoluteValuesAndGuardsZero) {
+  const auto out = ApplyOperator(Operator::kModulo,
+                                 Col("a", {7.0, -7.0, 5.0}),
+                                 Col("b", {3.0, 3.0, 0.0}))
+                       .ValueOrDie();
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);  // |−7| mod 3.
+  EXPECT_DOUBLE_EQ(out[2], 0.0);  // Zero divisor.
+}
+
+TEST(OperatorsTest, OutputsAlwaysFinite) {
+  // Hostile inputs: huge magnitudes and zeros.
+  const data::Column a = Col("a", {1e308, -1e308, 0.0, 1e-320});
+  const data::Column b = Col("b", {1e-320, 0.0, 1e308, -1e308});
+  for (Operator op : AllOperators()) {
+    const auto out = ApplyOperator(op, a, IsUnary(op) ? a : b).ValueOrDie();
+    EXPECT_FALSE(out.HasNonFinite()) << OperatorToString(op);
+  }
+}
+
+TEST(OperatorsTest, DerivedNames) {
+  EXPECT_EQ(DerivedFeatureName(Operator::kDivide, "f1", "f2"), "(f1/f2)");
+  EXPECT_EQ(DerivedFeatureName(Operator::kSqrt, "f1", "f1"), "sqrt(f1)");
+  EXPECT_EQ(DerivedFeatureName(Operator::kModulo, "a", "b"), "(a%b)");
+}
+
+TEST(OperatorsTest, RejectsBadShapes) {
+  EXPECT_FALSE(ApplyOperator(Operator::kAdd, Col("a", {1.0}),
+                             Col("b", {1.0, 2.0}))
+                   .ok());
+  EXPECT_FALSE(
+      ApplyOperator(Operator::kLog, Col("a", {}), Col("a", {})).ok());
+}
+
+}  // namespace
+}  // namespace eafe::afe

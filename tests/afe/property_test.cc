@@ -1,0 +1,211 @@
+// Property-style tests: invariants that must hold for every operator and
+// for searches over hostile inputs, swept with parameterized gtest.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "afe/eafe.h"
+#include "afe/nfs.h"
+#include "afe/operators.h"
+#include "afe/random_search.h"
+#include "core/rng.h"
+#include "data/registry.h"
+
+namespace eafe::afe {
+namespace {
+
+// ---------------------------------------------------------------------
+// Operator properties over random inputs.
+
+class OperatorPropertyTest : public ::testing::TestWithParam<Operator> {};
+
+data::Column RandomColumn(const std::string& name, size_t n, Rng* rng) {
+  std::vector<double> values(n);
+  for (double& v : values) {
+    // Mix of scales, signs, zeros, and large magnitudes.
+    const double u = rng->Uniform();
+    if (u < 0.1) {
+      v = 0.0;
+    } else if (u < 0.2) {
+      v = rng->Normal(0.0, 1e6);
+    } else if (u < 0.3) {
+      v = rng->Normal(0.0, 1e-6);
+    } else {
+      v = rng->Normal(0.0, 3.0);
+    }
+  }
+  return data::Column(name, std::move(values));
+}
+
+TEST_P(OperatorPropertyTest, TotalOnHostileInputs) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const data::Column a = RandomColumn("a", 64, &rng);
+    const data::Column b =
+        IsUnary(GetParam()) ? a : RandomColumn("b", 64, &rng);
+    const auto out = ApplyOperator(GetParam(), a, b);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->size(), a.size());
+    EXPECT_FALSE(out->HasNonFinite());
+  }
+}
+
+TEST_P(OperatorPropertyTest, DeterministicPerInput) {
+  Rng rng(11);
+  const data::Column a = RandomColumn("a", 32, &rng);
+  const data::Column b = IsUnary(GetParam()) ? a : RandomColumn("b", 32, &rng);
+  const auto first = ApplyOperator(GetParam(), a, b).ValueOrDie();
+  const auto second = ApplyOperator(GetParam(), a, b).ValueOrDie();
+  EXPECT_TRUE(first == second);
+}
+
+TEST_P(OperatorPropertyTest, NameReflectsOperands) {
+  Rng rng(13);
+  const data::Column a = RandomColumn("alpha", 16, &rng);
+  const data::Column b =
+      IsUnary(GetParam()) ? a : RandomColumn("beta", 16, &rng);
+  const auto out = ApplyOperator(GetParam(), a, b).ValueOrDie();
+  EXPECT_NE(out.name().find("alpha"), std::string::npos);
+  if (!IsUnary(GetParam())) {
+    EXPECT_NE(out.name().find("beta"), std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOperators, OperatorPropertyTest,
+                         ::testing::ValuesIn(AllOperators()),
+                         [](const ::testing::TestParamInfo<Operator>& info) {
+                           return OperatorToString(info.param);
+                         });
+
+// Specific algebraic identities (spot checks with exact values).
+TEST(OperatorAlgebraTest, MinMaxIsIdempotentOnUnitInterval) {
+  data::Column c("c", {0.0, 0.25, 0.5, 1.0});
+  const auto once =
+      ApplyOperator(Operator::kMinMaxNormalize, c, c).ValueOrDie();
+  data::Column renamed = once;
+  renamed.set_name("c");
+  const auto twice =
+      ApplyOperator(Operator::kMinMaxNormalize, renamed, renamed)
+          .ValueOrDie();
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_DOUBLE_EQ(once[i], twice[i]);
+  }
+}
+
+TEST(OperatorAlgebraTest, AddSubtractInverse) {
+  Rng rng(17);
+  data::Column a = RandomColumn("a", 40, &rng);
+  data::Column b = RandomColumn("b", 40, &rng);
+  const auto sum = ApplyOperator(Operator::kAdd, a, b).ValueOrDie();
+  const auto back = ApplyOperator(Operator::kSubtract, sum, b).ValueOrDie();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(back[i], a[i], std::fabs(a[i]) * 1e-9 + 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Search robustness over hostile datasets.
+
+data::Dataset HostileDataset(size_t variant) {
+  Rng rng(variant * 31 + 5);
+  const size_t n = 120;
+  data::Dataset dataset;
+  dataset.name = "hostile";
+  dataset.task = data::TaskType::kClassification;
+  std::vector<double> signal(n);
+  for (double& v : signal) v = rng.Normal();
+  EXPECT_TRUE(
+      dataset.features.AddColumn(data::Column("signal", signal)).ok());
+  // Constant column.
+  EXPECT_TRUE(dataset.features
+                  .AddColumn(data::Column("constant",
+                                          std::vector<double>(n, 3.0)))
+                  .ok());
+  // Binary codes.
+  std::vector<double> codes(n);
+  for (double& v : codes) v = static_cast<double>(rng.Bernoulli(0.5));
+  EXPECT_TRUE(dataset.features.AddColumn(data::Column("codes", codes)).ok());
+  // Huge-magnitude column.
+  std::vector<double> huge(n);
+  for (double& v : huge) v = rng.Normal(0.0, 1e9);
+  EXPECT_TRUE(dataset.features.AddColumn(data::Column("huge", huge)).ok());
+  dataset.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    dataset.labels[i] = signal[i] > 0.0 ? 1.0 : 0.0;
+  }
+  return dataset;
+}
+
+class SearchRobustnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SearchRobustnessTest, SearchesSurviveHostileData) {
+  const data::Dataset dataset = HostileDataset(GetParam());
+  SearchOptions options;
+  options.epochs = 2;
+  options.steps_per_agent = 2;
+  options.evaluator.cv_folds = 3;
+  options.evaluator.rf_trees = 4;
+  options.evaluator.rf_max_depth = 4;
+  options.seed = 100 + GetParam();
+
+  RandomSearch random_search(options);
+  const auto random_result = random_search.Run(dataset);
+  ASSERT_TRUE(random_result.ok()) << random_result.status().ToString();
+  EXPECT_TRUE(random_result->best_dataset.Validate().ok());
+
+  NfsSearch nfs(options);
+  const auto nfs_result = nfs.Run(dataset);
+  ASSERT_TRUE(nfs_result.ok()) << nfs_result.status().ToString();
+  EXPECT_TRUE(nfs_result->best_dataset.Validate().ok());
+
+  EafeSearch::Options eafe_options;
+  eafe_options.search = options;
+  eafe_options.variant = EafeSearch::Variant::kRandomDrop;
+  EafeSearch eafe(eafe_options);
+  const auto eafe_result = eafe.Run(dataset);
+  ASSERT_TRUE(eafe_result.ok()) << eafe_result.status().ToString();
+  EXPECT_TRUE(eafe_result->best_dataset.Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, SearchRobustnessTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+// ---------------------------------------------------------------------
+// Cross-method invariants.
+
+TEST(SearchInvariantsTest, EvaluationAccountingConsistent) {
+  data::MaterializeOptions mat;
+  mat.max_samples = 150;
+  mat.max_features = 5;
+  const data::Dataset dataset =
+      data::MakeTargetDatasetByName("diabetes", mat).ValueOrDie();
+  SearchOptions options;
+  options.epochs = 3;
+  options.steps_per_agent = 2;
+  options.evaluator.cv_folds = 3;
+  options.evaluator.rf_trees = 4;
+  options.seed = 9;
+
+  for (int method = 0; method < 2; ++method) {
+    std::unique_ptr<FeatureSearch> search;
+    if (method == 0) {
+      search = std::make_unique<RandomSearch>(options);
+    } else {
+      search = std::make_unique<NfsSearch>(options);
+    }
+    const auto result = search->Run(dataset);
+    ASSERT_TRUE(result.ok());
+    // Evaluations = candidates + 1 base score.
+    EXPECT_EQ(result->downstream_evaluations,
+              result->features_evaluated + 1);
+    // Kept features cannot exceed evaluated candidates.
+    EXPECT_LE(result->features_kept, result->features_evaluated);
+    // The final dataset has base + kept features.
+    EXPECT_EQ(result->best_dataset.num_features(),
+              dataset.num_features() + result->features_kept);
+  }
+}
+
+}  // namespace
+}  // namespace eafe::afe

@@ -1,0 +1,113 @@
+#include "afe/reward.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eafe::afe {
+namespace {
+
+TEST(FpeShapedScoreTest, MatchesEquationEight) {
+  FpeRewardOptions options;
+  options.base_score = 0.7;
+  options.delta_max = 0.06;
+  options.delta_min = -0.04;
+  options.threshold = 0.01;
+  // p = 0: full bonus A^O + (delta_max - thre).
+  EXPECT_NEAR(FpeShapedScore(0.0, options), 0.7 + 0.05, 1e-12);
+  // p = 0.5: exactly A^O (boundary of the two branches).
+  EXPECT_NEAR(FpeShapedScore(0.5, options), 0.7, 1e-12);
+  // p = 1: full penalty A^O - (thre - delta_min).
+  EXPECT_NEAR(FpeShapedScore(1.0, options), 0.7 - 0.05, 1e-12);
+  // p = 0.25: halfway into the bonus branch.
+  EXPECT_NEAR(FpeShapedScore(0.25, options), 0.7 + 0.025, 1e-12);
+}
+
+TEST(FpeShapedScoreTest, MonotoneDecreasingInP) {
+  FpeRewardOptions options;
+  double previous = FpeShapedScore(0.0, options);
+  for (double p = 0.05; p <= 1.0; p += 0.05) {
+    const double score = FpeShapedScore(p, options);
+    EXPECT_LE(score, previous + 1e-12) << p;
+    previous = score;
+  }
+}
+
+TEST(DiscountedReturnsTest, MatchesRecurrence) {
+  const std::vector<double> rewards = {1.0, 2.0, 3.0};
+  const double gamma = 0.5;
+  const auto returns = DiscountedReturns(rewards, gamma);
+  // U_2 = 3; U_1 = 2 + 0.5*3 = 3.5; U_0 = 1 + 0.5*3.5 = 2.75.
+  EXPECT_DOUBLE_EQ(returns[2], 3.0);
+  EXPECT_DOUBLE_EQ(returns[1], 3.5);
+  EXPECT_DOUBLE_EQ(returns[0], 2.75);
+}
+
+TEST(DiscountedReturnsTest, GammaZeroIsImmediateReward) {
+  const std::vector<double> rewards = {1.0, -2.0, 0.5};
+  EXPECT_EQ(DiscountedReturns(rewards, 0.0), rewards);
+}
+
+TEST(DiscountedReturnsTest, GammaOneIsSuffixSums) {
+  const std::vector<double> rewards = {1.0, 2.0, 3.0};
+  const auto returns = DiscountedReturns(rewards, 1.0);
+  EXPECT_DOUBLE_EQ(returns[0], 6.0);
+  EXPECT_DOUBLE_EQ(returns[1], 5.0);
+  EXPECT_DOUBLE_EQ(returns[2], 3.0);
+}
+
+TEST(DiscountedReturnsTest, EmptyInput) {
+  EXPECT_TRUE(DiscountedReturns({}, 0.9).empty());
+}
+
+TEST(LambdaReturnsTest, LambdaOneEqualsDiscountedReturns) {
+  const std::vector<double> rewards = {0.3, -0.1, 0.7, 0.2};
+  const double gamma = 0.9;
+  const auto mc = DiscountedReturns(rewards, gamma);
+  const auto lambda_returns = LambdaReturns(rewards, gamma, 1.0);
+  ASSERT_EQ(lambda_returns.size(), mc.size());
+  for (size_t t = 0; t < mc.size(); ++t) {
+    EXPECT_NEAR(lambda_returns[t], mc[t], 1e-12) << t;
+  }
+}
+
+TEST(LambdaReturnsTest, LambdaZeroIsImmediateReward) {
+  const std::vector<double> rewards = {0.3, -0.1, 0.7};
+  const auto lambda_returns = LambdaReturns(rewards, 0.9, 0.0);
+  // With no value function, the 1-step target is just r_t (except the
+  // final step, where the full return is also r_T).
+  for (size_t t = 0; t < rewards.size(); ++t) {
+    EXPECT_NEAR(lambda_returns[t], rewards[t], 1e-12) << t;
+  }
+}
+
+TEST(LambdaReturnsTest, IntermediateLambdaIsBetweenExtremes) {
+  const std::vector<double> rewards = {1.0, 1.0, 1.0, 1.0};
+  const double gamma = 1.0;
+  const auto low = LambdaReturns(rewards, gamma, 0.0);
+  const auto mid = LambdaReturns(rewards, gamma, 0.5);
+  const auto high = LambdaReturns(rewards, gamma, 1.0);
+  for (size_t t = 0; t + 1 < rewards.size(); ++t) {
+    EXPECT_GE(mid[t], low[t] - 1e-12);
+    EXPECT_LE(mid[t], high[t] + 1e-12);
+  }
+}
+
+TEST(LambdaReturnsTest, HandKnownMixture) {
+  // T=2, rewards {r0, r1}, gamma=1:
+  // U_0^lambda = (1-l) * r0 + l * (r0 + r1); U_1^lambda = r1.
+  const std::vector<double> rewards = {2.0, 3.0};
+  const double lambda = 0.25;
+  const auto returns = LambdaReturns(rewards, 1.0, lambda);
+  EXPECT_NEAR(returns[0], 0.75 * 2.0 + 0.25 * 5.0, 1e-12);
+  EXPECT_NEAR(returns[1], 3.0, 1e-12);
+}
+
+TEST(LambdaReturnsTest, SingleStep) {
+  const auto returns = LambdaReturns({0.42}, 0.9, 0.8);
+  ASSERT_EQ(returns.size(), 1u);
+  EXPECT_DOUBLE_EQ(returns[0], 0.42);
+}
+
+}  // namespace
+}  // namespace eafe::afe

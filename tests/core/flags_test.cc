@@ -1,0 +1,120 @@
+#include "core/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eafe {
+namespace {
+
+/// Builds a mutable argv from string literals.
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    pointers_.push_back(const_cast<char*>("program"));
+    for (std::string& s : storage_) pointers_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+FlagParser MakeParser() {
+  FlagParser parser;
+  parser.AddString("name", "default", "a string flag")
+      .AddInt("count", 5, "an int flag")
+      .AddDouble("rate", 0.5, "a double flag")
+      .AddBool("verbose", false, "a bool flag");
+  return parser;
+}
+
+TEST(FlagParserTest, DefaultsApply) {
+  FlagParser parser = MakeParser();
+  ArgvBuilder args({});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(parser.GetString("name"), "default");
+  EXPECT_EQ(parser.GetInt("count"), 5);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("rate"), 0.5);
+  EXPECT_FALSE(parser.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser parser = MakeParser();
+  ArgvBuilder args({"--name=hello", "--count=9", "--rate=0.25"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(parser.GetString("name"), "hello");
+  EXPECT_EQ(parser.GetInt("count"), 9);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("rate"), 0.25);
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  FlagParser parser = MakeParser();
+  ArgvBuilder args({"--count", "12", "--name", "world"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(parser.GetInt("count"), 12);
+  EXPECT_EQ(parser.GetString("name"), "world");
+}
+
+TEST(FlagParserTest, BareBooleanSetsTrue) {
+  FlagParser parser = MakeParser();
+  ArgvBuilder args({"--verbose"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, BooleanExplicitValues) {
+  FlagParser parser = MakeParser();
+  ArgvBuilder args({"--verbose=true"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(parser.GetBool("verbose"));
+  FlagParser parser2 = MakeParser();
+  ArgvBuilder args2({"--verbose=0"});
+  ASSERT_TRUE(parser2.Parse(args2.argc(), args2.argv()).ok());
+  EXPECT_FALSE(parser2.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, UnknownFlagFailsLoudly) {
+  FlagParser parser = MakeParser();
+  ArgvBuilder args({"--no-such-flag=1"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagParserTest, BadIntRejected) {
+  FlagParser parser = MakeParser();
+  ArgvBuilder args({"--count=abc"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagParserTest, MissingValueRejected) {
+  FlagParser parser = MakeParser();
+  ArgvBuilder args({"--count"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagParserTest, PositionalRejected) {
+  FlagParser parser = MakeParser();
+  ArgvBuilder args({"stray"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagParserTest, UsageListsFlags) {
+  FlagParser parser = MakeParser();
+  const std::string usage = parser.Usage("prog");
+  EXPECT_NE(usage.find("--name"), std::string::npos);
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("a double flag"), std::string::npos);
+}
+
+TEST(FlagParserTest, HelpReturnsNotFound) {
+  FlagParser parser = MakeParser();
+  ArgvBuilder args({"--help"});
+  const Status status = parser.Parse(args.argc(), args.argv());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace eafe

@@ -1,0 +1,41 @@
+#include "core/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace eafe {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, DefaultLevelIsInfo) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, EmitBelowThresholdDoesNotCrash) {
+  SetLogLevel(LogLevel::kError);
+  // These are filtered out; the test checks the calls are safe.
+  LogDebug("debug %d", 1);
+  LogInfo("info %s", "x");
+  LogWarning("warning %f", 2.0);
+  Log(LogLevel::kInfo, "string form");
+}
+
+TEST_F(LoggingTest, EmitAboveThresholdDoesNotCrash) {
+  SetLogLevel(LogLevel::kDebug);
+  LogDebug("debug");
+  LogError("error %d %s", 7, "payload");
+  Log(LogLevel::kError, "string form");
+}
+
+}  // namespace
+}  // namespace eafe

@@ -1,0 +1,132 @@
+#include "core/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace eafe {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, FromRows) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix id = Matrix::Identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+  EXPECT_TRUE(t.Transpose() == m);
+}
+
+TEST(MatrixTest, MultiplyMatchesHandComputation) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyByIdentityIsNoop) {
+  Rng rng(5);
+  const Matrix m = Matrix::RandomNormal(4, 4, 1.0, &rng);
+  EXPECT_TRUE(m.Multiply(Matrix::Identity(4)) == m);
+  EXPECT_TRUE(Matrix::Identity(4).Multiply(m) == m);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  const Matrix m = Matrix::FromRows({{1, 0, 2}, {0, 3, 0}});
+  const std::vector<double> v = {1, 2, 3};
+  const std::vector<double> out = m.MultiplyVector(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 7.0);
+  EXPECT_DOUBLE_EQ(out[1], 6.0);
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  EXPECT_DOUBLE_EQ(a.Add(b)(1, 1), 12.0);
+  EXPECT_DOUBLE_EQ(b.Subtract(a)(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.Hadamard(b)(1, 0), 21.0);
+  EXPECT_DOUBLE_EQ(a.Scale(2.0)(0, 1), 4.0);
+}
+
+TEST(MatrixTest, AddInPlaceWithAlpha) {
+  Matrix a = Matrix::FromRows({{1, 1}});
+  const Matrix b = Matrix::FromRows({{2, 4}});
+  a.AddInPlace(b, 0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 3.0);
+}
+
+TEST(MatrixTest, SquaredNorm) {
+  const Matrix m = Matrix::FromRows({{3, 4}});
+  EXPECT_DOUBLE_EQ(m.SquaredNorm(), 25.0);
+}
+
+TEST(CholeskyTest, FactorizesSpdMatrix) {
+  // A = L L^T with known L.
+  const Matrix a = Matrix::FromRows({{4, 2}, {2, 5}});
+  const Matrix l = Cholesky(a).ValueOrDie();
+  EXPECT_DOUBLE_EQ(l(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(l(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(l(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(l(1, 1), 2.0);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  const Matrix not_spd = Matrix::FromRows({{1, 2}, {2, 1}});
+  EXPECT_FALSE(Cholesky(not_spd).ok());
+  const Matrix not_square = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_FALSE(Cholesky(not_square).ok());
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  // Random SPD system: A = B^T B + n I.
+  Rng rng(9);
+  const Matrix b = Matrix::RandomNormal(6, 6, 1.0, &rng);
+  Matrix a = b.Transpose().Multiply(b);
+  for (size_t i = 0; i < 6; ++i) a(i, i) += 6.0;
+  std::vector<double> x_true(6);
+  for (double& v : x_true) v = rng.Normal();
+  const std::vector<double> rhs = a.MultiplyVector(x_true);
+  const Matrix l = Cholesky(a).ValueOrDie();
+  const std::vector<double> x = CholeskySolve(l, rhs);
+  for (size_t i = 0; i < 6; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(DotTest, MatchesHandComputation) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace eafe

@@ -1,0 +1,41 @@
+#include "core/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace eafe {
+namespace {
+
+TEST(StopwatchTest, ElapsedGrowsMonotonically) {
+  Stopwatch watch;
+  const double first = watch.ElapsedSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double second = watch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GT(second, first);
+}
+
+TEST(StopwatchTest, MillisConsistentWithSeconds) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double seconds = watch.ElapsedSeconds();
+  const double millis = watch.ElapsedMillis();
+  EXPECT_NEAR(millis, seconds * 1e3, seconds * 1e3 * 0.5 + 1.0);
+}
+
+TEST(StopwatchTest, RestartResetsOrigin) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), 0.009);
+}
+
+TEST(StopwatchTest, MeasuresSleepRoughly) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(watch.ElapsedMillis(), 18.0);
+}
+
+}  // namespace
+}  // namespace eafe

@@ -1,0 +1,52 @@
+#include "core/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace eafe {
+namespace {
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter table({"Dataset", "Score"});
+  table.AddRow({"pima", "0.798"});
+  table.AddRow({"german credit", "0.816"});
+  const std::string out = table.ToString();
+  // Header, separator, two rows.
+  size_t lines = 0;
+  for (char c : out) lines += c == '\n';
+  EXPECT_EQ(lines, 4u);
+  EXPECT_NE(out.find("| Dataset"), std::string::npos);
+  EXPECT_NE(out.find("german credit"), std::string::npos);
+  // All lines equally wide (alignment).
+  size_t first_line_end = out.find('\n');
+  const size_t width = first_line_end;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    const size_t end = out.find('\n', pos);
+    EXPECT_EQ(end - pos, width);
+    pos = end + 1;
+  }
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(0.123456), "0.123");
+  EXPECT_EQ(TablePrinter::Num(0.5, 1), "0.5");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+}
+
+TEST(TablePrinterTest, RowCount) {
+  TablePrinter table({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.AddRow({"x"});
+  table.AddRow({"y"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, WideCellExpandsColumn) {
+  TablePrinter table({"h"});
+  table.AddRow({"a very long cell value"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("a very long cell value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eafe

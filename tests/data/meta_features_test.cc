@@ -1,0 +1,124 @@
+#include "data/meta_features.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/rng.h"
+
+namespace eafe::data {
+namespace {
+
+size_t Index(const std::string& name) {
+  const auto& names = MetaFeatureNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  ADD_FAILURE() << "unknown meta-feature " << name;
+  return 0;
+}
+
+TEST(MetaFeaturesTest, FixedSizeAndFinite) {
+  Rng rng(1);
+  std::vector<double> values(500);
+  for (double& v : values) v = rng.Normal(3.0, 2.0);
+  const auto meta = ComputeMetaFeatures(values).ValueOrDie();
+  ASSERT_EQ(meta.size(), kNumMetaFeatures);
+  ASSERT_EQ(MetaFeatureNames().size(), kNumMetaFeatures);
+  for (double m : meta) EXPECT_TRUE(std::isfinite(m));
+}
+
+TEST(MetaFeaturesTest, GaussianMoments) {
+  Rng rng(2);
+  std::vector<double> values(20000);
+  for (double& v : values) v = rng.Normal();
+  const auto meta = ComputeMetaFeatures(values).ValueOrDie();
+  EXPECT_NEAR(meta[Index("skewness")], 0.0, 0.1);
+  EXPECT_NEAR(meta[Index("kurtosis_excess")], 0.0, 0.2);
+  EXPECT_NEAR(meta[Index("negative_ratio")], 0.5, 0.02);
+  EXPECT_NEAR(meta[Index("outlier_ratio_3sd")], 0.0027, 0.002);
+}
+
+TEST(MetaFeaturesTest, SkewedDistributionDetected) {
+  Rng rng(3);
+  std::vector<double> values(10000);
+  for (double& v : values) v = std::exp(rng.Normal(0.0, 1.0));
+  const auto meta = ComputeMetaFeatures(values).ValueOrDie();
+  EXPECT_GT(meta[Index("skewness")], 2.0);
+  EXPECT_DOUBLE_EQ(meta[Index("negative_ratio")], 0.0);
+}
+
+TEST(MetaFeaturesTest, UniformEntropyHigh) {
+  Rng rng(4);
+  std::vector<double> values(10000);
+  for (double& v : values) v = rng.Uniform();
+  const auto meta = ComputeMetaFeatures(values).ValueOrDie();
+  EXPECT_GT(meta[Index("entropy_10bin")], 0.98);
+  EXPECT_NEAR(meta[Index("top_bin_mass")], 0.1, 0.02);
+}
+
+TEST(MetaFeaturesTest, SpikyDistributionLowEntropy) {
+  Rng rng(5);
+  std::vector<double> values(5000);
+  for (double& v : values) {
+    v = rng.Bernoulli(0.02) ? rng.Normal(0.0, 100.0) : rng.Normal(0.0, 0.01);
+  }
+  const auto meta = ComputeMetaFeatures(values).ValueOrDie();
+  EXPECT_LT(meta[Index("entropy_10bin")], 0.5);
+  EXPECT_GT(meta[Index("top_bin_mass")], 0.8);
+}
+
+TEST(MetaFeaturesTest, IntegerCodesDetected) {
+  const std::vector<double> codes = {0, 1, 2, 1, 0, 2, 1, 1, 0, 2};
+  const auto meta = ComputeMetaFeatures(codes).ValueOrDie();
+  EXPECT_DOUBLE_EQ(meta[Index("integer_ratio")], 1.0);
+  EXPECT_DOUBLE_EQ(meta[Index("unique_ratio")], 0.3);
+}
+
+TEST(MetaFeaturesTest, ConstantColumnIsWellDefined) {
+  const std::vector<double> constant(50, 7.0);
+  const auto meta = ComputeMetaFeatures(constant).ValueOrDie();
+  for (double m : meta) EXPECT_TRUE(std::isfinite(m));
+  EXPECT_DOUBLE_EQ(meta[Index("unique_ratio")], 1.0 / 50.0);
+  EXPECT_DOUBLE_EQ(meta[Index("top_bin_mass")], 1.0);
+}
+
+TEST(MetaFeaturesTest, ClipsExtremeMoments) {
+  // One enormous outlier drives raw kurtosis into the thousands.
+  std::vector<double> values(1000, 0.0);
+  Rng rng(6);
+  for (double& v : values) v = rng.Normal();
+  values[0] = 1e9;
+  const auto meta = ComputeMetaFeatures(values).ValueOrDie();
+  EXPECT_LE(std::fabs(meta[Index("kurtosis_excess")]), 500.0);
+  EXPECT_LE(std::fabs(meta[Index("skewness")]), 50.0);
+}
+
+TEST(MetaFeaturesTest, RejectsBadInput) {
+  EXPECT_FALSE(ComputeMetaFeatures({}).ok());
+  EXPECT_FALSE(ComputeMetaFeatures(
+                   {1.0, std::numeric_limits<double>::quiet_NaN()})
+                   .ok());
+  EXPECT_FALSE(ComputeMetaFeatures(
+                   {1.0, std::numeric_limits<double>::infinity()})
+                   .ok());
+}
+
+TEST(MetaFeaturesTest, ScaleInvariantWhereDocumented) {
+  Rng rng(7);
+  std::vector<double> values(2000);
+  for (double& v : values) v = rng.Normal(5.0, 2.0);
+  std::vector<double> scaled(values.size());
+  for (size_t i = 0; i < values.size(); ++i) scaled[i] = values[i] * 1000.0;
+  const auto a = ComputeMetaFeatures(values).ValueOrDie();
+  const auto b = ComputeMetaFeatures(scaled).ValueOrDie();
+  // Moments of standardized values and ratios are scale-free.
+  for (const char* name : {"skewness", "kurtosis_excess", "min_z", "max_z",
+                           "unique_ratio", "entropy_10bin"}) {
+    EXPECT_NEAR(a[Index(name)], b[Index(name)], 1e-9) << name;
+  }
+}
+
+}  // namespace
+}  // namespace eafe::data

@@ -1,0 +1,97 @@
+#include "data/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace eafe::data {
+namespace {
+
+TEST(RegistryTest, HasAll36TargetDatasets) {
+  EXPECT_EQ(PaperTargetDatasets().size(), 36u);
+}
+
+TEST(RegistryTest, TableOneSubset) {
+  const auto& table_one = TableOneDatasets();
+  ASSERT_EQ(table_one.size(), 4u);
+  EXPECT_EQ(table_one[0].name, "PimaIndian");
+  EXPECT_EQ(table_one[0].paper_samples, 768u);
+  EXPECT_EQ(table_one[0].paper_features, 8u);
+}
+
+TEST(RegistryTest, TaskMixMatchesPaper) {
+  size_t classification = 0;
+  size_t regression = 0;
+  for (const DatasetInfo& info : PaperTargetDatasets()) {
+    (info.task == TaskType::kClassification ? classification : regression)++;
+  }
+  EXPECT_EQ(classification, 26u);  // Paper: 26 classification datasets.
+  EXPECT_EQ(regression, 10u);      // Paper: 10 regression datasets.
+}
+
+TEST(RegistryTest, LookupIsCaseInsensitive) {
+  EXPECT_TRUE(FindDatasetInfo("pimaindian").ok());
+  EXPECT_TRUE(FindDatasetInfo("HIGGS BOSON").ok());
+  EXPECT_FALSE(FindDatasetInfo("not a dataset").ok());
+}
+
+TEST(RegistryTest, KnownShapes) {
+  const DatasetInfo higgs = FindDatasetInfo("Higgs Boson").ValueOrDie();
+  EXPECT_EQ(higgs.paper_samples, 50000u);
+  EXPECT_EQ(higgs.paper_features, 28u);
+  const DatasetInfo ovary = FindDatasetInfo("AP. ovary").ValueOrDie();
+  EXPECT_EQ(ovary.paper_features, 10936u);
+  EXPECT_EQ(ovary.task, TaskType::kClassification);
+  const DatasetInfo boston =
+      FindDatasetInfo("Housing Boston").ValueOrDie();
+  EXPECT_EQ(boston.task, TaskType::kRegression);
+}
+
+TEST(RegistryTest, MaterializeCapsLargeShapes) {
+  MaterializeOptions options;
+  options.max_samples = 500;
+  options.max_features = 16;
+  const Dataset higgs =
+      MakeTargetDatasetByName("Higgs Boson", options).ValueOrDie();
+  EXPECT_EQ(higgs.num_rows(), 500u);
+  EXPECT_EQ(higgs.num_features(), 16u);
+}
+
+TEST(RegistryTest, MaterializeKeepsSmallShapesExact) {
+  const Dataset pima = MakeTargetDatasetByName("PimaIndian").ValueOrDie();
+  EXPECT_EQ(pima.num_rows(), 768u);
+  EXPECT_EQ(pima.num_features(), 8u);
+  EXPECT_EQ(pima.task, TaskType::kClassification);
+  EXPECT_TRUE(pima.Validate().ok());
+}
+
+TEST(RegistryTest, MaterializeDeterministicPerNameAndSeed) {
+  const Dataset a = MakeTargetDatasetByName("sonar").ValueOrDie();
+  const Dataset b = MakeTargetDatasetByName("sonar").ValueOrDie();
+  EXPECT_TRUE(a.features == b.features);
+  MaterializeOptions other;
+  other.seed = 1234;
+  const Dataset c = MakeTargetDatasetByName("sonar", other).ValueOrDie();
+  EXPECT_FALSE(a.features == c.features);
+}
+
+TEST(RegistryTest, DifferentDatasetsDiffer) {
+  const Dataset a = MakeTargetDatasetByName("diabetes").ValueOrDie();
+  const Dataset b = MakeTargetDatasetByName("PimaIndian").ValueOrDie();
+  // Same shapes (768x8) but different planted structure.
+  EXPECT_EQ(a.num_rows(), b.num_rows());
+  EXPECT_FALSE(a.features == b.features);
+}
+
+TEST(RegistryTest, AllTargetsMaterializeAndValidate) {
+  MaterializeOptions options;
+  options.max_samples = 120;
+  options.max_features = 10;
+  for (const DatasetInfo& info : PaperTargetDatasets()) {
+    const auto dataset = MakeTargetDataset(info, options);
+    ASSERT_TRUE(dataset.ok()) << info.name;
+    EXPECT_TRUE(dataset->Validate().ok()) << info.name;
+    EXPECT_EQ(dataset->task, info.task) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace eafe::data

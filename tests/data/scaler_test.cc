@@ -1,0 +1,85 @@
+#include "data/scaler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eafe::data {
+namespace {
+
+DataFrame MakeFrame() {
+  DataFrame frame;
+  EXPECT_TRUE(frame.AddColumn(Column("a", {1, 2, 3, 4, 5})).ok());
+  EXPECT_TRUE(frame.AddColumn(Column("b", {10, 10, 10, 10, 10})).ok());
+  return frame;
+}
+
+TEST(StandardScalerTest, ZeroMeanUnitVariance) {
+  DataFrame frame = MakeFrame();
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(frame).ok());
+  const DataFrame scaled = scaler.Transform(frame).ValueOrDie();
+  EXPECT_NEAR(scaled.column(0).Mean(), 0.0, 1e-12);
+  EXPECT_NEAR(scaled.column(0).StdDev(), 1.0, 1e-12);
+}
+
+TEST(StandardScalerTest, ConstantColumnMapsToZero) {
+  DataFrame frame = MakeFrame();
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(frame).ok());
+  const DataFrame scaled = scaler.Transform(frame).ValueOrDie();
+  for (size_t r = 0; r < 5; ++r) {
+    EXPECT_DOUBLE_EQ(scaled.column(1)[r], 0.0);
+  }
+}
+
+TEST(StandardScalerTest, TransformUsesTrainingStatistics) {
+  DataFrame train = MakeFrame();
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(train).ok());
+  DataFrame test;
+  ASSERT_TRUE(test.AddColumn(Column("a", {3.0})).ok());
+  ASSERT_TRUE(test.AddColumn(Column("b", {10.0})).ok());
+  const DataFrame scaled = scaler.Transform(test).ValueOrDie();
+  // Mean of train column a is 3 -> maps to 0.
+  EXPECT_NEAR(scaled.column(0)[0], 0.0, 1e-12);
+}
+
+TEST(StandardScalerTest, ErrorsBeforeFitAndOnMismatch) {
+  StandardScaler scaler;
+  DataFrame frame = MakeFrame();
+  EXPECT_FALSE(scaler.Transform(frame).ok());
+  ASSERT_TRUE(scaler.Fit(frame).ok());
+  DataFrame narrow;
+  ASSERT_TRUE(narrow.AddColumn(Column("a", {1.0})).ok());
+  EXPECT_FALSE(scaler.Transform(narrow).ok());
+  DataFrame empty;
+  EXPECT_FALSE(scaler.Fit(empty).ok());
+}
+
+TEST(MinMaxScalerTest, MapsToUnitInterval) {
+  DataFrame frame = MakeFrame();
+  MinMaxScaler scaler;
+  ASSERT_TRUE(scaler.Fit(frame).ok());
+  const DataFrame scaled = scaler.Transform(frame).ValueOrDie();
+  EXPECT_DOUBLE_EQ(scaled.column(0).Min(), 0.0);
+  EXPECT_DOUBLE_EQ(scaled.column(0).Max(), 1.0);
+  EXPECT_DOUBLE_EQ(scaled.column(0)[2], 0.5);
+}
+
+TEST(MinMaxScalerTest, ConstantColumnMapsToZero) {
+  DataFrame frame = MakeFrame();
+  MinMaxScaler scaler;
+  ASSERT_TRUE(scaler.Fit(frame).ok());
+  const DataFrame scaled = scaler.Transform(frame).ValueOrDie();
+  EXPECT_DOUBLE_EQ(scaled.column(1).Min(), 0.0);
+  EXPECT_DOUBLE_EQ(scaled.column(1).Max(), 0.0);
+}
+
+TEST(MinMaxScalerTest, ErrorsBeforeFit) {
+  MinMaxScaler scaler;
+  EXPECT_FALSE(scaler.Transform(MakeFrame()).ok());
+}
+
+}  // namespace
+}  // namespace eafe::data

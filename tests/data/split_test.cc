@@ -1,0 +1,133 @@
+#include "data/split.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace eafe::data {
+namespace {
+
+TEST(TrainTestSplitTest, PartitionsAllRows) {
+  Rng rng(1);
+  const TrainTestIndices split =
+      TrainTestSplitIndices(100, 0.25, &rng).ValueOrDie();
+  EXPECT_EQ(split.test.size(), 25u);
+  EXPECT_EQ(split.train.size(), 75u);
+  std::set<size_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(TrainTestSplitTest, RejectsBadFraction) {
+  Rng rng(1);
+  EXPECT_FALSE(TrainTestSplitIndices(10, 0.0, &rng).ok());
+  EXPECT_FALSE(TrainTestSplitIndices(10, 1.0, &rng).ok());
+  EXPECT_FALSE(TrainTestSplitIndices(1, 0.5, &rng).ok());
+}
+
+TEST(TrainTestSplitTest, AtLeastOneEachSide) {
+  Rng rng(1);
+  const TrainTestIndices split =
+      TrainTestSplitIndices(3, 0.01, &rng).ValueOrDie();
+  EXPECT_GE(split.test.size(), 1u);
+  EXPECT_GE(split.train.size(), 1u);
+}
+
+TEST(TrainTestSplitTest, SplitsDataset) {
+  Dataset dataset;
+  dataset.task = TaskType::kRegression;
+  std::vector<double> values(20);
+  for (size_t i = 0; i < 20; ++i) values[i] = static_cast<double>(i);
+  ASSERT_TRUE(dataset.features.AddColumn(Column("x", values)).ok());
+  dataset.labels = values;
+  Rng rng(2);
+  const TrainTestDatasets split =
+      TrainTestSplit(dataset, 0.3, &rng).ValueOrDie();
+  EXPECT_EQ(split.test.num_rows(), 6u);
+  EXPECT_EQ(split.train.num_rows(), 14u);
+  // Features and labels stay aligned.
+  for (size_t i = 0; i < split.test.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(split.test.features.column(0)[i],
+                     split.test.labels[i]);
+  }
+}
+
+TEST(KFoldTest, FoldsPartitionTestSets) {
+  Rng rng(3);
+  const std::vector<Fold> folds = KFoldIndices(23, 5, &rng).ValueOrDie();
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<size_t> all_test;
+  for (const Fold& fold : folds) {
+    for (size_t i : fold.test) {
+      EXPECT_TRUE(all_test.insert(i).second) << "row in two test sets";
+    }
+    EXPECT_EQ(fold.train.size() + fold.test.size(), 23u);
+  }
+  EXPECT_EQ(all_test.size(), 23u);
+}
+
+TEST(KFoldTest, TrainAndTestDisjoint) {
+  Rng rng(4);
+  const std::vector<Fold> folds = KFoldIndices(30, 3, &rng).ValueOrDie();
+  for (const Fold& fold : folds) {
+    std::set<size_t> train(fold.train.begin(), fold.train.end());
+    for (size_t i : fold.test) EXPECT_EQ(train.count(i), 0u);
+  }
+}
+
+TEST(KFoldTest, RejectsBadK) {
+  Rng rng(5);
+  EXPECT_FALSE(KFoldIndices(10, 1, &rng).ok());
+  EXPECT_FALSE(KFoldIndices(3, 4, &rng).ok());
+}
+
+TEST(StratifiedKFoldTest, PreservesClassBalance) {
+  Rng rng(6);
+  // 40 of class 0, 20 of class 1.
+  std::vector<double> labels;
+  for (int i = 0; i < 40; ++i) labels.push_back(0);
+  for (int i = 0; i < 20; ++i) labels.push_back(1);
+  const std::vector<Fold> folds =
+      StratifiedKFoldIndices(labels, 4, &rng).ValueOrDie();
+  for (const Fold& fold : folds) {
+    std::map<int, int> counts;
+    for (size_t i : fold.test) ++counts[static_cast<int>(labels[i])];
+    EXPECT_EQ(counts[0], 10);
+    EXPECT_EQ(counts[1], 5);
+  }
+}
+
+TEST(StratifiedKFoldTest, CoversAllRowsExactlyOnce) {
+  Rng rng(7);
+  std::vector<double> labels;
+  for (int i = 0; i < 31; ++i) labels.push_back(i % 3);
+  const std::vector<Fold> folds =
+      StratifiedKFoldIndices(labels, 5, &rng).ValueOrDie();
+  std::set<size_t> all_test;
+  for (const Fold& fold : folds) {
+    for (size_t i : fold.test) {
+      EXPECT_TRUE(all_test.insert(i).second);
+    }
+  }
+  EXPECT_EQ(all_test.size(), labels.size());
+}
+
+TEST(StratifiedKFoldTest, SmallMinorityClassStillSplits) {
+  Rng rng(8);
+  std::vector<double> labels(20, 0.0);
+  labels[3] = 1.0;
+  labels[11] = 1.0;
+  // k=2 with a 2-member minority: one per fold.
+  const std::vector<Fold> folds =
+      StratifiedKFoldIndices(labels, 2, &rng).ValueOrDie();
+  for (const Fold& fold : folds) {
+    int minority = 0;
+    for (size_t i : fold.test) minority += labels[i] == 1.0;
+    EXPECT_EQ(minority, 1);
+  }
+}
+
+}  // namespace
+}  // namespace eafe::data

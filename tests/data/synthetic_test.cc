@@ -1,0 +1,129 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace eafe::data {
+namespace {
+
+TEST(SyntheticTest, RespectsRequestedShape) {
+  SyntheticSpec spec;
+  spec.num_samples = 150;
+  spec.num_features = 12;
+  const Dataset dataset = MakeSynthetic(spec).ValueOrDie();
+  EXPECT_EQ(dataset.num_rows(), 150u);
+  EXPECT_EQ(dataset.num_features(), 12u);
+  EXPECT_TRUE(dataset.Validate().ok());
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  SyntheticSpec spec;
+  spec.seed = 777;
+  const Dataset a = MakeSynthetic(spec).ValueOrDie();
+  const Dataset b = MakeSynthetic(spec).ValueOrDie();
+  EXPECT_TRUE(a.features == b.features);
+  EXPECT_EQ(a.labels, b.labels);
+  spec.seed = 778;
+  const Dataset c = MakeSynthetic(spec).ValueOrDie();
+  EXPECT_FALSE(a.features == c.features);
+}
+
+TEST(SyntheticTest, ClassificationLabelsAreBalancedIntegers) {
+  SyntheticSpec spec;
+  spec.task = TaskType::kClassification;
+  spec.num_samples = 400;
+  spec.num_classes = 2;
+  const Dataset dataset = MakeSynthetic(spec).ValueOrDie();
+  size_t positives = 0;
+  for (double label : dataset.labels) {
+    EXPECT_TRUE(label == 0.0 || label == 1.0);
+    positives += label == 1.0;
+  }
+  EXPECT_NEAR(static_cast<double>(positives) / 400.0, 0.5, 0.1);
+}
+
+TEST(SyntheticTest, MultiClassSupported) {
+  SyntheticSpec spec;
+  spec.num_samples = 300;
+  spec.num_classes = 3;
+  const Dataset dataset = MakeSynthetic(spec).ValueOrDie();
+  std::set<int> classes;
+  for (double label : dataset.labels) {
+    classes.insert(static_cast<int>(label));
+  }
+  EXPECT_EQ(classes.size(), 3u);
+}
+
+TEST(SyntheticTest, RegressionLabelsRoughlyStandardized) {
+  SyntheticSpec spec;
+  spec.task = TaskType::kRegression;
+  spec.num_samples = 500;
+  spec.noise = 0.1;
+  const Dataset dataset = MakeSynthetic(spec).ValueOrDie();
+  double mean = 0.0;
+  for (double y : dataset.labels) mean += y;
+  mean /= 500.0;
+  EXPECT_NEAR(mean, 0.0, 0.2);
+  double var = 0.0;
+  for (double y : dataset.labels) var += (y - mean) * (y - mean);
+  var /= 500.0;
+  EXPECT_NEAR(std::sqrt(var), 1.0, 0.25);
+}
+
+TEST(SyntheticTest, RejectsInvalidSpecs) {
+  SyntheticSpec spec;
+  spec.num_samples = 5;
+  EXPECT_FALSE(MakeSynthetic(spec).ok());
+  spec = SyntheticSpec();
+  spec.num_features = 1;
+  EXPECT_FALSE(MakeSynthetic(spec).ok());
+  spec = SyntheticSpec();
+  spec.num_classes = 1;
+  EXPECT_FALSE(MakeSynthetic(spec).ok());
+  spec = SyntheticSpec();
+  spec.redundant_fraction = 1.5;
+  EXPECT_FALSE(MakeSynthetic(spec).ok());
+}
+
+TEST(SyntheticTest, FeaturesAreFinite) {
+  SyntheticSpec spec;
+  spec.num_samples = 200;
+  spec.num_features = 20;
+  const Dataset dataset = MakeSynthetic(spec).ValueOrDie();
+  for (const Column& col : dataset.features.columns()) {
+    EXPECT_FALSE(col.HasNonFinite()) << col.name();
+  }
+}
+
+TEST(PublicCollectionTest, ProducesRequestedCountAndMix) {
+  const std::vector<Dataset> datasets = MakePublicCollection(20, 0.6, 42);
+  ASSERT_EQ(datasets.size(), 20u);
+  size_t classification = 0;
+  for (const Dataset& d : datasets) {
+    EXPECT_TRUE(d.Validate().ok()) << d.name;
+    classification += d.task == TaskType::kClassification;
+  }
+  // ~60% classification, loose tolerance for 20 draws.
+  EXPECT_GE(classification, 6u);
+  EXPECT_LE(classification, 18u);
+}
+
+TEST(PublicCollectionTest, DeterministicInSeed) {
+  const auto a = MakePublicCollection(3, 0.5, 7);
+  const auto b = MakePublicCollection(3, 0.5, 7);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(a[i].features == b[i].features);
+  }
+}
+
+TEST(PublicCollectionTest, ShapesVary) {
+  const auto datasets = MakePublicCollection(10, 0.5, 11);
+  std::set<size_t> row_counts;
+  for (const Dataset& d : datasets) row_counts.insert(d.num_rows());
+  EXPECT_GT(row_counts.size(), 3u);
+}
+
+}  // namespace
+}  // namespace eafe::data

@@ -1,0 +1,148 @@
+#include "fpe/fpe_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace eafe::fpe {
+namespace {
+
+/// Synthetic labeled features with a clear distributional signature:
+/// positives are heavy-tailed (lognormal), negatives are uniform. This is
+/// the kind of shape difference the compressed-signature classifier can
+/// exploit.
+std::vector<LabeledFeature> MakeSeparableFeatures(size_t count,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LabeledFeature> features;
+  features.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    LabeledFeature f;
+    f.label = i % 2 == 0 ? 1 : 0;
+    const size_t n = 100 + rng.UniformInt(uint64_t{200});
+    f.values.resize(n);
+    for (double& v : f.values) {
+      v = f.label == 1 ? std::exp(rng.Normal(0.0, 1.2))
+                       : rng.Uniform(0.0, 1.0);
+    }
+    f.score_gain = f.label == 1 ? 0.05 : -0.01;
+    features.push_back(std::move(f));
+  }
+  return features;
+}
+
+TEST(FpeModelTest, LearnsDistributionalSignature) {
+  const auto train = MakeSeparableFeatures(120, 1);
+  const auto validation = MakeSeparableFeatures(60, 2);
+  FpeModel model;
+  ASSERT_TRUE(model.Train(train).ok());
+  EXPECT_TRUE(model.trained());
+  const auto counts = model.Evaluate(validation).ValueOrDie();
+  EXPECT_GT(counts.Recall(), 0.8);
+  EXPECT_GT(counts.Precision(), 0.8);
+}
+
+TEST(FpeModelTest, PredictProbabilityInUnitInterval) {
+  const auto train = MakeSeparableFeatures(80, 3);
+  FpeModel model;
+  ASSERT_TRUE(model.Train(train).ok());
+  for (const auto& f : MakeSeparableFeatures(20, 4)) {
+    const double p = model.PredictProbability(f.values).ValueOrDie();
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(FpeModelTest, PredictLabelConsistentWithProbability) {
+  const auto train = MakeSeparableFeatures(80, 5);
+  FpeModel model;
+  ASSERT_TRUE(model.Train(train).ok());
+  for (const auto& f : MakeSeparableFeatures(30, 6)) {
+    const double p = model.PredictProbability(f.values).ValueOrDie();
+    const int label = model.PredictLabel(f.values).ValueOrDie();
+    EXPECT_EQ(label, p >= 0.5 ? 1 : 0);
+  }
+}
+
+TEST(FpeModelTest, HandlesVariableLengthInputs) {
+  // The whole point of the compressor: features of any length share one
+  // classifier.
+  const auto train = MakeSeparableFeatures(100, 7);
+  FpeModel model;
+  ASSERT_TRUE(model.Train(train).ok());
+  Rng rng(8);
+  std::vector<double> tiny(12), huge(5000);
+  for (double& v : tiny) v = rng.Uniform();
+  for (double& v : huge) v = rng.Uniform();
+  EXPECT_TRUE(model.PredictProbability(tiny).ok());
+  EXPECT_TRUE(model.PredictProbability(huge).ok());
+}
+
+TEST(FpeModelTest, MlpClassifierVariant) {
+  FpeModel::Options options;
+  options.classifier = FpeModel::ClassifierKind::kMlp;
+  FpeModel model(options);
+  ASSERT_TRUE(model.Train(MakeSeparableFeatures(120, 9)).ok());
+  const auto counts =
+      model.Evaluate(MakeSeparableFeatures(60, 10)).ValueOrDie();
+  EXPECT_GT(counts.Recall(), 0.7);
+}
+
+TEST(FpeModelTest, RebalancingHandlesSkewedLabels) {
+  // 10% positives.
+  Rng rng(11);
+  std::vector<LabeledFeature> features;
+  for (size_t i = 0; i < 150; ++i) {
+    LabeledFeature f;
+    f.label = i % 10 == 0 ? 1 : 0;
+    f.values.resize(120);
+    for (double& v : f.values) {
+      v = f.label == 1 ? std::exp(rng.Normal(0.0, 1.2))
+                       : rng.Uniform(0.0, 1.0);
+    }
+    features.push_back(std::move(f));
+  }
+  FpeModel model;
+  ASSERT_TRUE(model.Train(features).ok());
+  const auto counts = model.Evaluate(features).ValueOrDie();
+  // Rebalancing should preserve recall on the minority positives.
+  EXPECT_GT(counts.Recall(), 0.7);
+}
+
+TEST(FpeModelTest, TrainingRequiresBothClasses) {
+  auto features = MakeSeparableFeatures(40, 12);
+  for (auto& f : features) f.label = 1;
+  FpeModel model;
+  EXPECT_FALSE(model.Train(features).ok());
+  for (auto& f : features) f.label = 0;
+  EXPECT_FALSE(model.Train(features).ok());
+}
+
+TEST(FpeModelTest, TrainingRequiresEnoughFeatures) {
+  FpeModel model;
+  EXPECT_FALSE(model.Train(MakeSeparableFeatures(2, 13)).ok());
+}
+
+TEST(FpeModelTest, ErrorsBeforeTraining) {
+  FpeModel model;
+  EXPECT_FALSE(model.trained());
+  EXPECT_FALSE(model.PredictProbability({1.0, 2.0}).ok());
+  EXPECT_FALSE(model.Evaluate(MakeSeparableFeatures(4, 14)).ok());
+}
+
+TEST(FpeModelTest, DeterministicGivenSeed) {
+  const auto train = MakeSeparableFeatures(60, 15);
+  FpeModel a, b;
+  ASSERT_TRUE(a.Train(train).ok());
+  ASSERT_TRUE(b.Train(train).ok());
+  const auto probe = MakeSeparableFeatures(10, 16);
+  for (const auto& f : probe) {
+    EXPECT_DOUBLE_EQ(a.PredictProbability(f.values).ValueOrDie(),
+                     b.PredictProbability(f.values).ValueOrDie());
+  }
+}
+
+}  // namespace
+}  // namespace eafe::fpe

@@ -1,0 +1,125 @@
+#include "fpe/labeling.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "data/synthetic.h"
+
+namespace eafe::fpe {
+namespace {
+
+/// A dataset where one feature is the label signal and the rest is noise:
+/// leave-one-out labeling must mark the signal feature as effective.
+data::Dataset MakeSignalPlusNoise(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> signal(n), noise1(n), noise2(n), labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    signal[i] = rng.Normal();
+    noise1[i] = rng.Normal();
+    noise2[i] = rng.Normal();
+    labels[i] = signal[i] > 0.0 ? 1.0 : 0.0;
+  }
+  data::Dataset dataset;
+  dataset.name = "signal_noise";
+  dataset.task = data::TaskType::kClassification;
+  EXPECT_TRUE(
+      dataset.features.AddColumn(data::Column("signal", signal)).ok());
+  EXPECT_TRUE(
+      dataset.features.AddColumn(data::Column("noise1", noise1)).ok());
+  EXPECT_TRUE(
+      dataset.features.AddColumn(data::Column("noise2", noise2)).ok());
+  dataset.labels = labels;
+  return dataset;
+}
+
+ml::EvaluatorOptions QuickEvaluator() {
+  ml::EvaluatorOptions options;
+  options.cv_folds = 3;
+  options.rf_trees = 6;
+  options.rf_max_depth = 5;
+  return options;
+}
+
+TEST(LabelingTest, SignalFeatureLabeledEffective) {
+  const data::Dataset dataset = MakeSignalPlusNoise(250, 1);
+  ml::TaskEvaluator evaluator(QuickEvaluator());
+  const auto labeled =
+      LabelFeatures(dataset, evaluator, 0.01).ValueOrDie();
+  ASSERT_EQ(labeled.size(), 3u);
+  EXPECT_EQ(labeled[0].feature_name, "signal");
+  EXPECT_EQ(labeled[0].label, 1);
+  EXPECT_GT(labeled[0].score_gain, 0.05);
+  // Noise features should not be strongly effective.
+  EXPECT_LT(labeled[1].score_gain, labeled[0].score_gain);
+  EXPECT_LT(labeled[2].score_gain, labeled[0].score_gain);
+}
+
+TEST(LabelingTest, PopulatesMetadata) {
+  const data::Dataset dataset = MakeSignalPlusNoise(150, 2);
+  ml::TaskEvaluator evaluator(QuickEvaluator());
+  const auto labeled =
+      LabelFeatures(dataset, evaluator, 0.01).ValueOrDie();
+  for (const LabeledFeature& f : labeled) {
+    EXPECT_EQ(f.dataset_name, "signal_noise");
+    EXPECT_EQ(f.task, data::TaskType::kClassification);
+    EXPECT_EQ(f.values.size(), dataset.num_rows());
+  }
+}
+
+TEST(LabelingTest, SingleFeatureDatasetYieldsNothing) {
+  data::Dataset dataset;
+  dataset.task = data::TaskType::kRegression;
+  ASSERT_TRUE(dataset.features.AddColumn(
+      data::Column("only", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10})).ok());
+  dataset.labels = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  ml::TaskEvaluator evaluator(QuickEvaluator());
+  const auto labeled =
+      LabelFeatures(dataset, evaluator, 0.01).ValueOrDie();
+  EXPECT_TRUE(labeled.empty());
+}
+
+TEST(LabelingTest, CollectionConcatenates) {
+  const std::vector<data::Dataset> datasets = {
+      MakeSignalPlusNoise(120, 3), MakeSignalPlusNoise(140, 4)};
+  ml::TaskEvaluator evaluator(QuickEvaluator());
+  const auto labeled =
+      LabelFeatureCollection(datasets, evaluator, 0.01).ValueOrDie();
+  EXPECT_EQ(labeled.size(), 6u);
+}
+
+TEST(LabelingTest, RelabelWithThreshold) {
+  std::vector<LabeledFeature> features(3);
+  features[0].score_gain = 0.05;
+  features[1].score_gain = 0.005;
+  features[2].score_gain = -0.02;
+  RelabelWithThreshold(&features, 0.01);
+  EXPECT_EQ(features[0].label, 1);
+  EXPECT_EQ(features[1].label, 0);
+  EXPECT_EQ(features[2].label, 0);
+  RelabelWithThreshold(&features, 0.001);
+  EXPECT_EQ(features[1].label, 1);
+  // A lower threshold can only add positives (monotonicity).
+}
+
+TEST(LabelingTest, ThresholdMonotonicity) {
+  const data::Dataset dataset = MakeSignalPlusNoise(150, 5);
+  ml::TaskEvaluator evaluator(QuickEvaluator());
+  auto labeled = LabelFeatures(dataset, evaluator, 0.0).ValueOrDie();
+  auto positives_at = [&](double threshold) {
+    RelabelWithThreshold(&labeled, threshold);
+    size_t count = 0;
+    for (const auto& f : labeled) count += f.label;
+    return count;
+  };
+  EXPECT_GE(positives_at(0.0), positives_at(0.01));
+  EXPECT_GE(positives_at(0.01), positives_at(0.1));
+}
+
+TEST(LabelingTest, InvalidDatasetRejected) {
+  data::Dataset bad;
+  ml::TaskEvaluator evaluator(QuickEvaluator());
+  EXPECT_FALSE(LabelFeatures(bad, evaluator, 0.01).ok());
+}
+
+}  // namespace
+}  // namespace eafe::fpe

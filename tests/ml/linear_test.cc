@@ -1,0 +1,117 @@
+#include "ml/linear.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "tests/ml/test_util.h"
+
+namespace eafe::ml {
+namespace {
+
+using testing::LabelAccuracy;
+using testing::MakeBlobs;
+using testing::MakeLinearRegression;
+using testing::MakeSeparable;
+
+TEST(LogisticRegressionTest, LearnsSeparableData) {
+  const data::Dataset dataset = MakeSeparable(400, 1);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(dataset.features, dataset.labels).ok());
+  const auto pred = model.Predict(dataset.features).ValueOrDie();
+  EXPECT_GT(LabelAccuracy(dataset.labels, pred), 0.95);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesCalibratedDirectionally) {
+  const data::Dataset dataset = MakeSeparable(300, 2);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(dataset.features, dataset.labels).ok());
+  const auto proba = model.PredictProba(dataset.features).ValueOrDie();
+  for (double p : proba) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  double pos_mean = 0.0, neg_mean = 0.0;
+  size_t pos = 0, neg = 0;
+  for (size_t i = 0; i < proba.size(); ++i) {
+    if (dataset.labels[i] == 1.0) {
+      pos_mean += proba[i];
+      ++pos;
+    } else {
+      neg_mean += proba[i];
+      ++neg;
+    }
+  }
+  EXPECT_GT(pos_mean / pos, 0.7);
+  EXPECT_LT(neg_mean / neg, 0.3);
+}
+
+TEST(LogisticRegressionTest, MultiClassOneVsRest) {
+  const data::Dataset dataset = MakeBlobs(300, 3);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(dataset.features, dataset.labels).ok());
+  const auto pred = model.Predict(dataset.features).ValueOrDie();
+  EXPECT_GT(LabelAccuracy(dataset.labels, pred), 0.9);
+}
+
+TEST(LogisticRegressionTest, ErrorsOnBadInput) {
+  LogisticRegression model;
+  data::DataFrame x;
+  ASSERT_TRUE(x.AddColumn(data::Column("f", {1, 2, 3})).ok());
+  EXPECT_FALSE(model.Fit(x, {1.0, 0.0}).ok());   // Mismatch.
+  EXPECT_FALSE(model.Fit(x, {0, 0, 0}).ok());    // Single class.
+  EXPECT_FALSE(model.Predict(x).ok());           // Not fitted.
+}
+
+TEST(LogisticRegressionTest, DeterministicGivenSeed) {
+  const data::Dataset dataset = MakeSeparable(150, 4);
+  LogisticRegression a, b;
+  ASSERT_TRUE(a.Fit(dataset.features, dataset.labels).ok());
+  ASSERT_TRUE(b.Fit(dataset.features, dataset.labels).ok());
+  EXPECT_EQ(a.PredictProba(dataset.features).ValueOrDie(),
+            b.PredictProba(dataset.features).ValueOrDie());
+}
+
+TEST(LinearSvmTest, LearnsSeparableData) {
+  const data::Dataset dataset = MakeSeparable(400, 5);
+  LinearSvm model;
+  ASSERT_TRUE(model.Fit(dataset.features, dataset.labels).ok());
+  const auto pred = model.Predict(dataset.features).ValueOrDie();
+  EXPECT_GT(LabelAccuracy(dataset.labels, pred), 0.95);
+}
+
+TEST(LinearSvmTest, MultiClassOneVsRest) {
+  const data::Dataset dataset = MakeBlobs(300, 6);
+  LinearSvm model;
+  ASSERT_TRUE(model.Fit(dataset.features, dataset.labels).ok());
+  const auto pred = model.Predict(dataset.features).ValueOrDie();
+  EXPECT_GT(LabelAccuracy(dataset.labels, pred), 0.9);
+}
+
+TEST(LinearSvmTest, RegressionRecoversLinearTarget) {
+  const data::Dataset dataset = MakeLinearRegression(400, 7);
+  LinearSvm::Options options;
+  options.task = data::TaskType::kRegression;
+  options.epochs = 200;
+  LinearSvm model(options);
+  ASSERT_TRUE(model.Fit(dataset.features, dataset.labels).ok());
+  const auto pred = model.Predict(dataset.features).ValueOrDie();
+  EXPECT_GT(OneMinusRae(dataset.labels, pred), 0.85);
+}
+
+TEST(LinearSvmTest, TaskAccessor) {
+  LinearSvm::Options options;
+  options.task = data::TaskType::kRegression;
+  EXPECT_EQ(LinearSvm(options).task(), data::TaskType::kRegression);
+  EXPECT_EQ(LinearSvm().task(), data::TaskType::kClassification);
+}
+
+TEST(LinearSvmTest, ErrorsOnBadInput) {
+  LinearSvm model;
+  data::DataFrame x;
+  ASSERT_TRUE(x.AddColumn(data::Column("f", {1, 2})).ok());
+  EXPECT_FALSE(model.Fit(x, {1.0}).ok());
+  EXPECT_FALSE(model.Predict(x).ok());
+}
+
+}  // namespace
+}  // namespace eafe::ml

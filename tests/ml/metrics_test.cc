@@ -1,0 +1,93 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace eafe::ml {
+namespace {
+
+TEST(AccuracyTest, Basic) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1, 0}, {1, 0, 0, 0}), 0.75);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1, 1}, {1, 1}), 1.0);
+}
+
+TEST(F1WeightedTest, PerfectPrediction) {
+  EXPECT_DOUBLE_EQ(F1Weighted({0, 1, 0, 1}, {0, 1, 0, 1}), 1.0);
+}
+
+TEST(F1WeightedTest, KnownBinaryCase) {
+  // truth:  1 1 1 0 0 0 ; pred: 1 1 0 0 0 1.
+  // class 1: tp=2 fp=1 fn=1 -> P=2/3, R=2/3, F1=2/3.
+  // class 0: tp=2 fp=1 fn=1 -> F1=2/3.  Weighted = 2/3.
+  const std::vector<double> truth = {1, 1, 1, 0, 0, 0};
+  const std::vector<double> pred = {1, 1, 0, 0, 0, 1};
+  EXPECT_NEAR(F1Weighted(truth, pred), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(F1Macro(truth, pred), 2.0 / 3.0, 1e-12);
+}
+
+TEST(F1WeightedTest, ImbalancedWeighting) {
+  // 9 of class 0 predicted perfectly, 1 of class 1 missed.
+  std::vector<double> truth(10, 0.0);
+  truth[9] = 1.0;
+  std::vector<double> pred(10, 0.0);
+  // class 0: tp=9, fp=1, fn=0 -> F1 = 18/19. class 1: F1 = 0.
+  const double expected_weighted = 0.9 * (18.0 / 19.0);
+  EXPECT_NEAR(F1Weighted(truth, pred), expected_weighted, 1e-12);
+  // Macro averages equally: (18/19 + 0) / 2.
+  EXPECT_NEAR(F1Macro(truth, pred), 0.5 * 18.0 / 19.0, 1e-12);
+}
+
+TEST(F1Test, MultiClass) {
+  const std::vector<double> truth = {0, 1, 2, 0, 1, 2};
+  const std::vector<double> pred = {0, 1, 2, 0, 1, 2};
+  EXPECT_DOUBLE_EQ(F1Weighted(truth, pred), 1.0);
+  EXPECT_DOUBLE_EQ(F1Macro(truth, pred), 1.0);
+}
+
+TEST(F1Test, EmptyInput) {
+  EXPECT_DOUBLE_EQ(F1Weighted({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(F1Macro({}, {}), 0.0);
+}
+
+TEST(OneMinusRaeTest, PerfectPredictionGivesOne) {
+  const std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(OneMinusRae(y, y), 1.0);
+}
+
+TEST(OneMinusRaeTest, MeanPredictorGivesZero) {
+  const std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> mean_pred(4, 2.5);
+  EXPECT_NEAR(OneMinusRae(y, mean_pred), 0.0, 1e-12);
+}
+
+TEST(OneMinusRaeTest, WorseThanMeanIsNegative) {
+  const std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> bad = {10.0, -10.0, 10.0, -10.0};
+  EXPECT_LT(OneMinusRae(y, bad), 0.0);
+}
+
+TEST(OneMinusRaeTest, ConstantTargetEdgeCase) {
+  const std::vector<double> y = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(OneMinusRae(y, y), 1.0);
+  EXPECT_DOUBLE_EQ(OneMinusRae(y, {1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(MseTest, KnownValue) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError({1, 2}, {3, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError({}, {}), 0.0);
+}
+
+TEST(TaskScoreTest, DispatchesByTask) {
+  const std::vector<double> truth = {0, 1, 0, 1};
+  const std::vector<double> pred = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(
+      TaskScore(data::TaskType::kClassification, truth, pred), 1.0);
+  EXPECT_DOUBLE_EQ(TaskScore(data::TaskType::kRegression, truth, pred),
+                   1.0);
+  // Regression scoring differs from F1 for imperfect predictions.
+  const std::vector<double> off = {0.1, 0.9, 0.1, 0.9};
+  EXPECT_GT(TaskScore(data::TaskType::kRegression, truth, off), 0.5);
+}
+
+}  // namespace
+}  // namespace eafe::ml

@@ -1,0 +1,282 @@
+// eafe — command-line interface to the library, for users who want the
+// paper's pipeline on their own CSV files without writing C++:
+//
+//   eafe pretrain --out model.txt [--public 10] [--scheme ccws]
+//       Pre-train an FPE model (synthetic public collection) and save it.
+//
+//   eafe search --data train.csv --label target --task classification \
+//               [--model model.txt] [--method eafe|nfs|random]
+//               [--epochs 10] [--out engineered.csv]
+//       Run AFE on a CSV dataset; optionally write the engineered table.
+//
+//   eafe evaluate --data train.csv --label target --task classification \
+//                 [--downstream rf|svm|nb_gp|mlp|resnet]
+//       Cross-validated downstream score of a dataset as-is.
+//
+//   eafe describe --data train.csv --label target --task classification
+//       Shape, per-column statistics, and RF feature importances.
+
+#include <cstdio>
+#include <string>
+
+#include "core/flags.h"
+#include "core/table_printer.h"
+#include "data/meta_features.h"
+#include "eafe.h"
+#include "fpe/serialization.h"
+#include "ml/feature_selection.h"
+
+namespace eafe::cli {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<data::Dataset> LoadDataset(const FlagParser& flags) {
+  const std::string path = flags.GetString("data");
+  const std::string label = flags.GetString("label");
+  if (path.empty() || label.empty()) {
+    return Status::InvalidArgument("--data and --label are required");
+  }
+  const std::string task_name = flags.GetString("task");
+  data::TaskType task;
+  if (task_name == "classification") {
+    task = data::TaskType::kClassification;
+  } else if (task_name == "regression") {
+    task = data::TaskType::kRegression;
+  } else {
+    return Status::InvalidArgument(
+        "--task must be classification or regression");
+  }
+  return data::ReadCsvDataset(path, label, task);
+}
+
+int Pretrain(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("out", "fpe_model.txt", "output model path")
+      .AddInt("public", 10, "number of synthetic public datasets")
+      .AddString("scheme", "", "fix one MinHash scheme (default: sweep)")
+      .AddInt("dimension", 48, "signature dimension d")
+      .AddDouble("thre", 0.01, "label threshold")
+      .AddInt("seed", 17, "random seed");
+  const Status parsed = flags.Parse(argc, argv);
+  if (parsed.code() == StatusCode::kNotFound) return 0;
+  if (!parsed.ok()) return Fail(parsed);
+
+  afe::FpePretrainingOptions options;
+  options.trainer.dimensions = {
+      static_cast<size_t>(flags.GetInt("dimension"))};
+  options.trainer.threshold = flags.GetDouble("thre");
+  options.trainer.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  if (!flags.GetString("scheme").empty()) {
+    auto scheme = hashing::MinHashSchemeFromString(flags.GetString("scheme"));
+    if (!scheme.ok()) return Fail(scheme.status());
+    options.trainer.schemes = {*scheme};
+  }
+  std::printf("pre-training FPE on %lld public datasets...\n",
+              static_cast<long long>(flags.GetInt("public")));
+  auto trained = afe::PretrainFpe(
+      data::MakePublicCollection(
+          static_cast<size_t>(flags.GetInt("public")), 141.0 / 239.0,
+          options.trainer.seed + 1),
+      options);
+  if (!trained.ok()) return Fail(trained.status());
+  std::printf("selected %s d=%zu recall=%.3f precision=%.3f\n",
+              hashing::MinHashSchemeToString(trained->selected.scheme)
+                  .c_str(),
+              trained->selected.dimension, trained->selected.recall,
+              trained->selected.precision);
+  const Status saved =
+      fpe::SaveFpeModel(trained->model, flags.GetString("out"));
+  if (!saved.ok()) return Fail(saved);
+  std::printf("model written to %s\n", flags.GetString("out").c_str());
+  return 0;
+}
+
+int Search(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("data", "", "input CSV")
+      .AddString("label", "", "label column name")
+      .AddString("task", "classification", "classification|regression")
+      .AddString("model", "", "FPE model path (required for method eafe)")
+      .AddString("method", "eafe", "eafe|nfs|random")
+      .AddInt("epochs", 10, "training epochs")
+      .AddInt("max-features", 48, "RF-importance pre-selection cap")
+      .AddString("out", "", "write the engineered table to this CSV")
+      .AddInt("seed", 17, "random seed");
+  const Status parsed = flags.Parse(argc, argv);
+  if (parsed.code() == StatusCode::kNotFound) return 0;
+  if (!parsed.ok()) return Fail(parsed);
+
+  auto dataset = LoadDataset(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  // The paper's wide-table protocol: importance pre-selection first.
+  ml::PreselectOptions preselect;
+  preselect.max_features =
+      static_cast<size_t>(flags.GetInt("max-features"));
+  auto narrowed = ml::PreselectFeatures(*dataset, preselect);
+  if (!narrowed.ok()) return Fail(narrowed.status());
+  if (narrowed->num_features() < dataset->num_features()) {
+    std::printf("pre-selected %zu of %zu features by RF importance\n",
+                narrowed->num_features(), dataset->num_features());
+  }
+
+  afe::SearchOptions search_options;
+  search_options.epochs = static_cast<size_t>(flags.GetInt("epochs"));
+  search_options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  std::unique_ptr<afe::FeatureSearch> search;
+  fpe::FpeModel model;
+  const std::string method = flags.GetString("method");
+  if (method == "eafe") {
+    if (flags.GetString("model").empty()) {
+      return Fail(Status::InvalidArgument(
+          "--model is required for method eafe (run `eafe pretrain`)"));
+    }
+    auto loaded = fpe::LoadFpeModel(flags.GetString("model"));
+    if (!loaded.ok()) return Fail(loaded.status());
+    model = std::move(loaded).ValueOrDie();
+    afe::EafeSearch::Options options;
+    options.search = search_options;
+    options.fpe_model = &model;
+    options.stage1_epochs = search_options.epochs;
+    search = std::make_unique<afe::EafeSearch>(options);
+  } else if (method == "nfs") {
+    search = std::make_unique<afe::NfsSearch>(search_options);
+  } else if (method == "random") {
+    search = std::make_unique<afe::RandomSearch>(search_options);
+  } else {
+    return Fail(Status::InvalidArgument("unknown method: " + method));
+  }
+
+  std::printf("running %s for %zu epochs...\n", search->name().c_str(),
+              search_options.epochs);
+  auto result = search->Run(*narrowed);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("score %.4f -> %.4f | generated %zu, evaluated %zu, kept "
+              "%zu | %.1fs\n",
+              result->base_score, result->best_score,
+              result->features_generated, result->features_evaluated,
+              result->features_kept, result->total_seconds);
+  for (const std::string& name :
+       result->best_dataset.features.ColumnNames()) {
+    if (name.find('(') != std::string::npos) {
+      std::printf("  + %s\n", name.c_str());
+    }
+  }
+
+  if (!flags.GetString("out").empty()) {
+    data::DataFrame table = result->best_dataset.features;
+    const Status added = table.AddColumn(
+        data::Column(flags.GetString("label"),
+                     result->best_dataset.labels));
+    if (!added.ok()) return Fail(added);
+    const Status written = data::WriteCsv(table, flags.GetString("out"));
+    if (!written.ok()) return Fail(written);
+    std::printf("engineered table written to %s\n",
+                flags.GetString("out").c_str());
+  }
+  return 0;
+}
+
+int Evaluate(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("data", "", "input CSV")
+      .AddString("label", "", "label column name")
+      .AddString("task", "classification", "classification|regression")
+      .AddString("downstream", "rf", "rf|tree|logreg|svm|nb_gp|mlp|resnet")
+      .AddInt("folds", 5, "cross-validation folds")
+      .AddInt("seed", 17, "random seed");
+  const Status parsed = flags.Parse(argc, argv);
+  if (parsed.code() == StatusCode::kNotFound) return 0;
+  if (!parsed.ok()) return Fail(parsed);
+
+  auto dataset = LoadDataset(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto kind = ml::ModelKindFromString(flags.GetString("downstream"));
+  if (!kind.ok()) return Fail(kind.status());
+
+  ml::EvaluatorOptions options;
+  options.model = *kind;
+  options.cv_folds = static_cast<size_t>(flags.GetInt("folds"));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  ml::TaskEvaluator evaluator(options);
+  auto score = evaluator.Score(*dataset);
+  if (!score.ok()) return Fail(score.status());
+  std::printf("%s %zu-fold CV score (%s): %.4f\n",
+              flags.GetString("downstream").c_str(), options.cv_folds,
+              dataset->task == data::TaskType::kClassification
+                  ? "weighted F1"
+                  : "1-RAE",
+              *score);
+  return 0;
+}
+
+int Describe(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("data", "", "input CSV")
+      .AddString("label", "", "label column name")
+      .AddString("task", "classification", "classification|regression");
+  const Status parsed = flags.Parse(argc, argv);
+  if (parsed.code() == StatusCode::kNotFound) return 0;
+  if (!parsed.ok()) return Fail(parsed);
+
+  auto dataset = LoadDataset(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  std::printf("%zu rows x %zu features, %s\n", dataset->num_rows(),
+              dataset->num_features(),
+              data::TaskTypeToString(dataset->task).c_str());
+
+  ml::RandomForest::Options rf;
+  rf.task = dataset->task;
+  ml::RandomForest forest(rf);
+  std::vector<double> importances;
+  if (forest.Fit(dataset->features, dataset->labels).ok()) {
+    importances = forest.FeatureImportances();
+  }
+
+  TablePrinter table({"Column", "Mean", "StdDev", "Skew", "Unique%",
+                      "RF importance"});
+  for (size_t c = 0; c < dataset->num_features(); ++c) {
+    const data::Column& col = dataset->features.column(c);
+    auto meta = data::ComputeMetaFeatures(col.values());
+    const double skew = meta.ok() ? (*meta)[2] : 0.0;
+    const double unique = meta.ok() ? (*meta)[8] : 0.0;
+    table.AddRow({col.name(), TablePrinter::Num(col.Mean()),
+                  TablePrinter::Num(col.StdDev()),
+                  TablePrinter::Num(skew),
+                  TablePrinter::Num(100.0 * unique, 1),
+                  c < importances.size()
+                      ? TablePrinter::Num(importances[c])
+                      : "n/a"});
+  }
+  table.Print();
+  return 0;
+}
+
+int Usage(const char* program) {
+  std::fprintf(stderr,
+               "usage: %s <pretrain|search|evaluate|describe> [flags]\n"
+               "Run '%s <command> --help' for command flags.\n",
+               program, program);
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const std::string command = argv[1];
+  // Shift argv so FlagParser sees only the command's flags.
+  if (command == "pretrain") return Pretrain(argc - 1, argv + 1);
+  if (command == "search") return Search(argc - 1, argv + 1);
+  if (command == "evaluate") return Evaluate(argc - 1, argv + 1);
+  if (command == "describe") return Describe(argc - 1, argv + 1);
+  return Usage(argv[0]);
+}
+
+}  // namespace
+}  // namespace eafe::cli
+
+int main(int argc, char** argv) { return eafe::cli::Main(argc, argv); }
