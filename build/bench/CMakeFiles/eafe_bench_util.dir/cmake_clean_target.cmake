@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libeafe_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_sample_percentage.dir/fig1_sample_percentage.cc.o"
+  "CMakeFiles/fig1_sample_percentage.dir/fig1_sample_percentage.cc.o.d"
+  "fig1_sample_percentage"
+  "fig1_sample_percentage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sample_percentage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_thre_gain.dir/fig6_thre_gain.cc.o"
+  "CMakeFiles/fig6_thre_gain.dir/fig6_thre_gain.cc.o.d"
+  "fig6_thre_gain"
+  "fig6_thre_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_thre_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpe_input_ablation.dir/fpe_input_ablation.cc.o"
+  "CMakeFiles/fpe_input_ablation.dir/fpe_input_ablation.cc.o.d"
+  "fpe_input_ablation"
+  "fpe_input_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpe_input_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

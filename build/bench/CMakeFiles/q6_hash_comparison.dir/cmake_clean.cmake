@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/q6_hash_comparison.dir/q6_hash_comparison.cc.o"
+  "CMakeFiles/q6_hash_comparison.dir/q6_hash_comparison.cc.o.d"
+  "q6_hash_comparison"
+  "q6_hash_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/q6_hash_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table5_downstream_swap.cc" "bench/CMakeFiles/table5_downstream_swap.dir/table5_downstream_swap.cc.o" "gcc" "bench/CMakeFiles/table5_downstream_swap.dir/table5_downstream_swap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/eafe_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_afe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_fpe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

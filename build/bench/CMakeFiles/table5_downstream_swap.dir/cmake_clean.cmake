@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_downstream_swap.dir/table5_downstream_swap.cc.o"
+  "CMakeFiles/table5_downstream_swap.dir/table5_downstream_swap.cc.o.d"
+  "table5_downstream_swap"
+  "table5_downstream_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_downstream_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_significance.dir/table6_significance.cc.o"
+  "CMakeFiles/table6_significance.dir/table6_significance.cc.o.d"
+  "table6_significance"
+  "table6_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

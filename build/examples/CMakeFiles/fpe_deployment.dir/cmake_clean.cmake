@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpe_deployment.dir/fpe_deployment.cpp.o"
+  "CMakeFiles/fpe_deployment.dir/fpe_deployment.cpp.o.d"
+  "fpe_deployment"
+  "fpe_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpe_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

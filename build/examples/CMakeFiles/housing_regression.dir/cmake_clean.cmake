@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/housing_regression.dir/housing_regression.cpp.o"
+  "CMakeFiles/housing_regression.dir/housing_regression.cpp.o.d"
+  "housing_regression"
+  "housing_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/housing_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

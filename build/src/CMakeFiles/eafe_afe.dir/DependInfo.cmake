@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/afe/agent.cc" "src/CMakeFiles/eafe_afe.dir/afe/agent.cc.o" "gcc" "src/CMakeFiles/eafe_afe.dir/afe/agent.cc.o.d"
+  "/root/repo/src/afe/eafe.cc" "src/CMakeFiles/eafe_afe.dir/afe/eafe.cc.o" "gcc" "src/CMakeFiles/eafe_afe.dir/afe/eafe.cc.o.d"
+  "/root/repo/src/afe/feature_space.cc" "src/CMakeFiles/eafe_afe.dir/afe/feature_space.cc.o" "gcc" "src/CMakeFiles/eafe_afe.dir/afe/feature_space.cc.o.d"
+  "/root/repo/src/afe/fpe_pretraining.cc" "src/CMakeFiles/eafe_afe.dir/afe/fpe_pretraining.cc.o" "gcc" "src/CMakeFiles/eafe_afe.dir/afe/fpe_pretraining.cc.o.d"
+  "/root/repo/src/afe/nfs.cc" "src/CMakeFiles/eafe_afe.dir/afe/nfs.cc.o" "gcc" "src/CMakeFiles/eafe_afe.dir/afe/nfs.cc.o.d"
+  "/root/repo/src/afe/operators.cc" "src/CMakeFiles/eafe_afe.dir/afe/operators.cc.o" "gcc" "src/CMakeFiles/eafe_afe.dir/afe/operators.cc.o.d"
+  "/root/repo/src/afe/random_search.cc" "src/CMakeFiles/eafe_afe.dir/afe/random_search.cc.o" "gcc" "src/CMakeFiles/eafe_afe.dir/afe/random_search.cc.o.d"
+  "/root/repo/src/afe/replay_buffer.cc" "src/CMakeFiles/eafe_afe.dir/afe/replay_buffer.cc.o" "gcc" "src/CMakeFiles/eafe_afe.dir/afe/replay_buffer.cc.o.d"
+  "/root/repo/src/afe/reward.cc" "src/CMakeFiles/eafe_afe.dir/afe/reward.cc.o" "gcc" "src/CMakeFiles/eafe_afe.dir/afe/reward.cc.o.d"
+  "/root/repo/src/afe/search.cc" "src/CMakeFiles/eafe_afe.dir/afe/search.cc.o" "gcc" "src/CMakeFiles/eafe_afe.dir/afe/search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/eafe_fpe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eafe_afe.dir/afe/agent.cc.o"
+  "CMakeFiles/eafe_afe.dir/afe/agent.cc.o.d"
+  "CMakeFiles/eafe_afe.dir/afe/eafe.cc.o"
+  "CMakeFiles/eafe_afe.dir/afe/eafe.cc.o.d"
+  "CMakeFiles/eafe_afe.dir/afe/feature_space.cc.o"
+  "CMakeFiles/eafe_afe.dir/afe/feature_space.cc.o.d"
+  "CMakeFiles/eafe_afe.dir/afe/fpe_pretraining.cc.o"
+  "CMakeFiles/eafe_afe.dir/afe/fpe_pretraining.cc.o.d"
+  "CMakeFiles/eafe_afe.dir/afe/nfs.cc.o"
+  "CMakeFiles/eafe_afe.dir/afe/nfs.cc.o.d"
+  "CMakeFiles/eafe_afe.dir/afe/operators.cc.o"
+  "CMakeFiles/eafe_afe.dir/afe/operators.cc.o.d"
+  "CMakeFiles/eafe_afe.dir/afe/random_search.cc.o"
+  "CMakeFiles/eafe_afe.dir/afe/random_search.cc.o.d"
+  "CMakeFiles/eafe_afe.dir/afe/replay_buffer.cc.o"
+  "CMakeFiles/eafe_afe.dir/afe/replay_buffer.cc.o.d"
+  "CMakeFiles/eafe_afe.dir/afe/reward.cc.o"
+  "CMakeFiles/eafe_afe.dir/afe/reward.cc.o.d"
+  "CMakeFiles/eafe_afe.dir/afe/search.cc.o"
+  "CMakeFiles/eafe_afe.dir/afe/search.cc.o.d"
+  "libeafe_afe.a"
+  "libeafe_afe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eafe_afe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/flags.cc" "src/CMakeFiles/eafe_core.dir/core/flags.cc.o" "gcc" "src/CMakeFiles/eafe_core.dir/core/flags.cc.o.d"
+  "/root/repo/src/core/logging.cc" "src/CMakeFiles/eafe_core.dir/core/logging.cc.o" "gcc" "src/CMakeFiles/eafe_core.dir/core/logging.cc.o.d"
+  "/root/repo/src/core/matrix.cc" "src/CMakeFiles/eafe_core.dir/core/matrix.cc.o" "gcc" "src/CMakeFiles/eafe_core.dir/core/matrix.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/CMakeFiles/eafe_core.dir/core/rng.cc.o" "gcc" "src/CMakeFiles/eafe_core.dir/core/rng.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/CMakeFiles/eafe_core.dir/core/stats.cc.o" "gcc" "src/CMakeFiles/eafe_core.dir/core/stats.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/CMakeFiles/eafe_core.dir/core/status.cc.o" "gcc" "src/CMakeFiles/eafe_core.dir/core/status.cc.o.d"
+  "/root/repo/src/core/string_util.cc" "src/CMakeFiles/eafe_core.dir/core/string_util.cc.o" "gcc" "src/CMakeFiles/eafe_core.dir/core/string_util.cc.o.d"
+  "/root/repo/src/core/table_printer.cc" "src/CMakeFiles/eafe_core.dir/core/table_printer.cc.o" "gcc" "src/CMakeFiles/eafe_core.dir/core/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

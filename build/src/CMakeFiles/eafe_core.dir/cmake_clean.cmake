@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eafe_core.dir/core/flags.cc.o"
+  "CMakeFiles/eafe_core.dir/core/flags.cc.o.d"
+  "CMakeFiles/eafe_core.dir/core/logging.cc.o"
+  "CMakeFiles/eafe_core.dir/core/logging.cc.o.d"
+  "CMakeFiles/eafe_core.dir/core/matrix.cc.o"
+  "CMakeFiles/eafe_core.dir/core/matrix.cc.o.d"
+  "CMakeFiles/eafe_core.dir/core/rng.cc.o"
+  "CMakeFiles/eafe_core.dir/core/rng.cc.o.d"
+  "CMakeFiles/eafe_core.dir/core/stats.cc.o"
+  "CMakeFiles/eafe_core.dir/core/stats.cc.o.d"
+  "CMakeFiles/eafe_core.dir/core/status.cc.o"
+  "CMakeFiles/eafe_core.dir/core/status.cc.o.d"
+  "CMakeFiles/eafe_core.dir/core/string_util.cc.o"
+  "CMakeFiles/eafe_core.dir/core/string_util.cc.o.d"
+  "CMakeFiles/eafe_core.dir/core/table_printer.cc.o"
+  "CMakeFiles/eafe_core.dir/core/table_printer.cc.o.d"
+  "libeafe_core.a"
+  "libeafe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eafe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

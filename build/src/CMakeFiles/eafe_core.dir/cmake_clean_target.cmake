@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeafe_core.a"
+)

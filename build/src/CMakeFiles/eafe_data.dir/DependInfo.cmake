@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/arff.cc" "src/CMakeFiles/eafe_data.dir/data/arff.cc.o" "gcc" "src/CMakeFiles/eafe_data.dir/data/arff.cc.o.d"
+  "/root/repo/src/data/column.cc" "src/CMakeFiles/eafe_data.dir/data/column.cc.o" "gcc" "src/CMakeFiles/eafe_data.dir/data/column.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/eafe_data.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/eafe_data.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataframe.cc" "src/CMakeFiles/eafe_data.dir/data/dataframe.cc.o" "gcc" "src/CMakeFiles/eafe_data.dir/data/dataframe.cc.o.d"
+  "/root/repo/src/data/meta_features.cc" "src/CMakeFiles/eafe_data.dir/data/meta_features.cc.o" "gcc" "src/CMakeFiles/eafe_data.dir/data/meta_features.cc.o.d"
+  "/root/repo/src/data/registry.cc" "src/CMakeFiles/eafe_data.dir/data/registry.cc.o" "gcc" "src/CMakeFiles/eafe_data.dir/data/registry.cc.o.d"
+  "/root/repo/src/data/scaler.cc" "src/CMakeFiles/eafe_data.dir/data/scaler.cc.o" "gcc" "src/CMakeFiles/eafe_data.dir/data/scaler.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/CMakeFiles/eafe_data.dir/data/split.cc.o" "gcc" "src/CMakeFiles/eafe_data.dir/data/split.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/eafe_data.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/eafe_data.dir/data/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/eafe_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eafe_data.dir/data/arff.cc.o"
+  "CMakeFiles/eafe_data.dir/data/arff.cc.o.d"
+  "CMakeFiles/eafe_data.dir/data/column.cc.o"
+  "CMakeFiles/eafe_data.dir/data/column.cc.o.d"
+  "CMakeFiles/eafe_data.dir/data/csv.cc.o"
+  "CMakeFiles/eafe_data.dir/data/csv.cc.o.d"
+  "CMakeFiles/eafe_data.dir/data/dataframe.cc.o"
+  "CMakeFiles/eafe_data.dir/data/dataframe.cc.o.d"
+  "CMakeFiles/eafe_data.dir/data/meta_features.cc.o"
+  "CMakeFiles/eafe_data.dir/data/meta_features.cc.o.d"
+  "CMakeFiles/eafe_data.dir/data/registry.cc.o"
+  "CMakeFiles/eafe_data.dir/data/registry.cc.o.d"
+  "CMakeFiles/eafe_data.dir/data/scaler.cc.o"
+  "CMakeFiles/eafe_data.dir/data/scaler.cc.o.d"
+  "CMakeFiles/eafe_data.dir/data/split.cc.o"
+  "CMakeFiles/eafe_data.dir/data/split.cc.o.d"
+  "CMakeFiles/eafe_data.dir/data/synthetic.cc.o"
+  "CMakeFiles/eafe_data.dir/data/synthetic.cc.o.d"
+  "libeafe_data.a"
+  "libeafe_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eafe_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

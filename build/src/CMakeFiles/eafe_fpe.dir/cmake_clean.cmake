@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eafe_fpe.dir/fpe/fpe_model.cc.o"
+  "CMakeFiles/eafe_fpe.dir/fpe/fpe_model.cc.o.d"
+  "CMakeFiles/eafe_fpe.dir/fpe/labeling.cc.o"
+  "CMakeFiles/eafe_fpe.dir/fpe/labeling.cc.o.d"
+  "CMakeFiles/eafe_fpe.dir/fpe/serialization.cc.o"
+  "CMakeFiles/eafe_fpe.dir/fpe/serialization.cc.o.d"
+  "CMakeFiles/eafe_fpe.dir/fpe/trainer.cc.o"
+  "CMakeFiles/eafe_fpe.dir/fpe/trainer.cc.o.d"
+  "libeafe_fpe.a"
+  "libeafe_fpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eafe_fpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

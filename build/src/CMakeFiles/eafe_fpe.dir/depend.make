@@ -1,0 +1,2 @@
+# Empty dependencies file for eafe_fpe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hashing/minhash.cc" "src/CMakeFiles/eafe_hashing.dir/hashing/minhash.cc.o" "gcc" "src/CMakeFiles/eafe_hashing.dir/hashing/minhash.cc.o.d"
+  "/root/repo/src/hashing/sample_compressor.cc" "src/CMakeFiles/eafe_hashing.dir/hashing/sample_compressor.cc.o" "gcc" "src/CMakeFiles/eafe_hashing.dir/hashing/sample_compressor.cc.o.d"
+  "/root/repo/src/hashing/weighted_minhash.cc" "src/CMakeFiles/eafe_hashing.dir/hashing/weighted_minhash.cc.o" "gcc" "src/CMakeFiles/eafe_hashing.dir/hashing/weighted_minhash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/eafe_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eafe_hashing.dir/hashing/minhash.cc.o"
+  "CMakeFiles/eafe_hashing.dir/hashing/minhash.cc.o.d"
+  "CMakeFiles/eafe_hashing.dir/hashing/sample_compressor.cc.o"
+  "CMakeFiles/eafe_hashing.dir/hashing/sample_compressor.cc.o.d"
+  "CMakeFiles/eafe_hashing.dir/hashing/weighted_minhash.cc.o"
+  "CMakeFiles/eafe_hashing.dir/hashing/weighted_minhash.cc.o.d"
+  "libeafe_hashing.a"
+  "libeafe_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eafe_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

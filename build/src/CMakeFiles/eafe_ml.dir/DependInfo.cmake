@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cross_validation.cc" "src/CMakeFiles/eafe_ml.dir/ml/cross_validation.cc.o" "gcc" "src/CMakeFiles/eafe_ml.dir/ml/cross_validation.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/eafe_ml.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/eafe_ml.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/evaluator.cc" "src/CMakeFiles/eafe_ml.dir/ml/evaluator.cc.o" "gcc" "src/CMakeFiles/eafe_ml.dir/ml/evaluator.cc.o.d"
+  "/root/repo/src/ml/feature_selection.cc" "src/CMakeFiles/eafe_ml.dir/ml/feature_selection.cc.o" "gcc" "src/CMakeFiles/eafe_ml.dir/ml/feature_selection.cc.o.d"
+  "/root/repo/src/ml/gaussian_process.cc" "src/CMakeFiles/eafe_ml.dir/ml/gaussian_process.cc.o" "gcc" "src/CMakeFiles/eafe_ml.dir/ml/gaussian_process.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/CMakeFiles/eafe_ml.dir/ml/linear.cc.o" "gcc" "src/CMakeFiles/eafe_ml.dir/ml/linear.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/eafe_ml.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/eafe_ml.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/CMakeFiles/eafe_ml.dir/ml/mlp.cc.o" "gcc" "src/CMakeFiles/eafe_ml.dir/ml/mlp.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/CMakeFiles/eafe_ml.dir/ml/naive_bayes.cc.o" "gcc" "src/CMakeFiles/eafe_ml.dir/ml/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/eafe_ml.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/eafe_ml.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/ml/resnet.cc" "src/CMakeFiles/eafe_ml.dir/ml/resnet.cc.o" "gcc" "src/CMakeFiles/eafe_ml.dir/ml/resnet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/eafe_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

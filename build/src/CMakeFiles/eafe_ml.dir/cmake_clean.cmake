@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eafe_ml.dir/ml/cross_validation.cc.o"
+  "CMakeFiles/eafe_ml.dir/ml/cross_validation.cc.o.d"
+  "CMakeFiles/eafe_ml.dir/ml/decision_tree.cc.o"
+  "CMakeFiles/eafe_ml.dir/ml/decision_tree.cc.o.d"
+  "CMakeFiles/eafe_ml.dir/ml/evaluator.cc.o"
+  "CMakeFiles/eafe_ml.dir/ml/evaluator.cc.o.d"
+  "CMakeFiles/eafe_ml.dir/ml/feature_selection.cc.o"
+  "CMakeFiles/eafe_ml.dir/ml/feature_selection.cc.o.d"
+  "CMakeFiles/eafe_ml.dir/ml/gaussian_process.cc.o"
+  "CMakeFiles/eafe_ml.dir/ml/gaussian_process.cc.o.d"
+  "CMakeFiles/eafe_ml.dir/ml/linear.cc.o"
+  "CMakeFiles/eafe_ml.dir/ml/linear.cc.o.d"
+  "CMakeFiles/eafe_ml.dir/ml/metrics.cc.o"
+  "CMakeFiles/eafe_ml.dir/ml/metrics.cc.o.d"
+  "CMakeFiles/eafe_ml.dir/ml/mlp.cc.o"
+  "CMakeFiles/eafe_ml.dir/ml/mlp.cc.o.d"
+  "CMakeFiles/eafe_ml.dir/ml/naive_bayes.cc.o"
+  "CMakeFiles/eafe_ml.dir/ml/naive_bayes.cc.o.d"
+  "CMakeFiles/eafe_ml.dir/ml/random_forest.cc.o"
+  "CMakeFiles/eafe_ml.dir/ml/random_forest.cc.o.d"
+  "CMakeFiles/eafe_ml.dir/ml/resnet.cc.o"
+  "CMakeFiles/eafe_ml.dir/ml/resnet.cc.o.d"
+  "libeafe_ml.a"
+  "libeafe_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eafe_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/afe/agent_test.cc" "tests/CMakeFiles/eafe_afe_test.dir/afe/agent_test.cc.o" "gcc" "tests/CMakeFiles/eafe_afe_test.dir/afe/agent_test.cc.o.d"
+  "/root/repo/tests/afe/eafe_test.cc" "tests/CMakeFiles/eafe_afe_test.dir/afe/eafe_test.cc.o" "gcc" "tests/CMakeFiles/eafe_afe_test.dir/afe/eafe_test.cc.o.d"
+  "/root/repo/tests/afe/early_stop_test.cc" "tests/CMakeFiles/eafe_afe_test.dir/afe/early_stop_test.cc.o" "gcc" "tests/CMakeFiles/eafe_afe_test.dir/afe/early_stop_test.cc.o.d"
+  "/root/repo/tests/afe/feature_space_test.cc" "tests/CMakeFiles/eafe_afe_test.dir/afe/feature_space_test.cc.o" "gcc" "tests/CMakeFiles/eafe_afe_test.dir/afe/feature_space_test.cc.o.d"
+  "/root/repo/tests/afe/operators_test.cc" "tests/CMakeFiles/eafe_afe_test.dir/afe/operators_test.cc.o" "gcc" "tests/CMakeFiles/eafe_afe_test.dir/afe/operators_test.cc.o.d"
+  "/root/repo/tests/afe/property_test.cc" "tests/CMakeFiles/eafe_afe_test.dir/afe/property_test.cc.o" "gcc" "tests/CMakeFiles/eafe_afe_test.dir/afe/property_test.cc.o.d"
+  "/root/repo/tests/afe/replay_buffer_test.cc" "tests/CMakeFiles/eafe_afe_test.dir/afe/replay_buffer_test.cc.o" "gcc" "tests/CMakeFiles/eafe_afe_test.dir/afe/replay_buffer_test.cc.o.d"
+  "/root/repo/tests/afe/reward_test.cc" "tests/CMakeFiles/eafe_afe_test.dir/afe/reward_test.cc.o" "gcc" "tests/CMakeFiles/eafe_afe_test.dir/afe/reward_test.cc.o.d"
+  "/root/repo/tests/afe/search_test.cc" "tests/CMakeFiles/eafe_afe_test.dir/afe/search_test.cc.o" "gcc" "tests/CMakeFiles/eafe_afe_test.dir/afe/search_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/eafe_afe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_fpe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eafe_afe_test.dir/afe/agent_test.cc.o"
+  "CMakeFiles/eafe_afe_test.dir/afe/agent_test.cc.o.d"
+  "CMakeFiles/eafe_afe_test.dir/afe/eafe_test.cc.o"
+  "CMakeFiles/eafe_afe_test.dir/afe/eafe_test.cc.o.d"
+  "CMakeFiles/eafe_afe_test.dir/afe/early_stop_test.cc.o"
+  "CMakeFiles/eafe_afe_test.dir/afe/early_stop_test.cc.o.d"
+  "CMakeFiles/eafe_afe_test.dir/afe/feature_space_test.cc.o"
+  "CMakeFiles/eafe_afe_test.dir/afe/feature_space_test.cc.o.d"
+  "CMakeFiles/eafe_afe_test.dir/afe/operators_test.cc.o"
+  "CMakeFiles/eafe_afe_test.dir/afe/operators_test.cc.o.d"
+  "CMakeFiles/eafe_afe_test.dir/afe/property_test.cc.o"
+  "CMakeFiles/eafe_afe_test.dir/afe/property_test.cc.o.d"
+  "CMakeFiles/eafe_afe_test.dir/afe/replay_buffer_test.cc.o"
+  "CMakeFiles/eafe_afe_test.dir/afe/replay_buffer_test.cc.o.d"
+  "CMakeFiles/eafe_afe_test.dir/afe/reward_test.cc.o"
+  "CMakeFiles/eafe_afe_test.dir/afe/reward_test.cc.o.d"
+  "CMakeFiles/eafe_afe_test.dir/afe/search_test.cc.o"
+  "CMakeFiles/eafe_afe_test.dir/afe/search_test.cc.o.d"
+  "eafe_afe_test"
+  "eafe_afe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eafe_afe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/flags_test.cc" "tests/CMakeFiles/eafe_core_test.dir/core/flags_test.cc.o" "gcc" "tests/CMakeFiles/eafe_core_test.dir/core/flags_test.cc.o.d"
+  "/root/repo/tests/core/logging_test.cc" "tests/CMakeFiles/eafe_core_test.dir/core/logging_test.cc.o" "gcc" "tests/CMakeFiles/eafe_core_test.dir/core/logging_test.cc.o.d"
+  "/root/repo/tests/core/matrix_test.cc" "tests/CMakeFiles/eafe_core_test.dir/core/matrix_test.cc.o" "gcc" "tests/CMakeFiles/eafe_core_test.dir/core/matrix_test.cc.o.d"
+  "/root/repo/tests/core/optimizer_test.cc" "tests/CMakeFiles/eafe_core_test.dir/core/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/eafe_core_test.dir/core/optimizer_test.cc.o.d"
+  "/root/repo/tests/core/rng_test.cc" "tests/CMakeFiles/eafe_core_test.dir/core/rng_test.cc.o" "gcc" "tests/CMakeFiles/eafe_core_test.dir/core/rng_test.cc.o.d"
+  "/root/repo/tests/core/stats_test.cc" "tests/CMakeFiles/eafe_core_test.dir/core/stats_test.cc.o" "gcc" "tests/CMakeFiles/eafe_core_test.dir/core/stats_test.cc.o.d"
+  "/root/repo/tests/core/status_test.cc" "tests/CMakeFiles/eafe_core_test.dir/core/status_test.cc.o" "gcc" "tests/CMakeFiles/eafe_core_test.dir/core/status_test.cc.o.d"
+  "/root/repo/tests/core/stopwatch_test.cc" "tests/CMakeFiles/eafe_core_test.dir/core/stopwatch_test.cc.o" "gcc" "tests/CMakeFiles/eafe_core_test.dir/core/stopwatch_test.cc.o.d"
+  "/root/repo/tests/core/string_util_test.cc" "tests/CMakeFiles/eafe_core_test.dir/core/string_util_test.cc.o" "gcc" "tests/CMakeFiles/eafe_core_test.dir/core/string_util_test.cc.o.d"
+  "/root/repo/tests/core/table_printer_test.cc" "tests/CMakeFiles/eafe_core_test.dir/core/table_printer_test.cc.o" "gcc" "tests/CMakeFiles/eafe_core_test.dir/core/table_printer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/eafe_afe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_fpe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eafe_core_test.dir/core/flags_test.cc.o"
+  "CMakeFiles/eafe_core_test.dir/core/flags_test.cc.o.d"
+  "CMakeFiles/eafe_core_test.dir/core/logging_test.cc.o"
+  "CMakeFiles/eafe_core_test.dir/core/logging_test.cc.o.d"
+  "CMakeFiles/eafe_core_test.dir/core/matrix_test.cc.o"
+  "CMakeFiles/eafe_core_test.dir/core/matrix_test.cc.o.d"
+  "CMakeFiles/eafe_core_test.dir/core/optimizer_test.cc.o"
+  "CMakeFiles/eafe_core_test.dir/core/optimizer_test.cc.o.d"
+  "CMakeFiles/eafe_core_test.dir/core/rng_test.cc.o"
+  "CMakeFiles/eafe_core_test.dir/core/rng_test.cc.o.d"
+  "CMakeFiles/eafe_core_test.dir/core/stats_test.cc.o"
+  "CMakeFiles/eafe_core_test.dir/core/stats_test.cc.o.d"
+  "CMakeFiles/eafe_core_test.dir/core/status_test.cc.o"
+  "CMakeFiles/eafe_core_test.dir/core/status_test.cc.o.d"
+  "CMakeFiles/eafe_core_test.dir/core/stopwatch_test.cc.o"
+  "CMakeFiles/eafe_core_test.dir/core/stopwatch_test.cc.o.d"
+  "CMakeFiles/eafe_core_test.dir/core/string_util_test.cc.o"
+  "CMakeFiles/eafe_core_test.dir/core/string_util_test.cc.o.d"
+  "CMakeFiles/eafe_core_test.dir/core/table_printer_test.cc.o"
+  "CMakeFiles/eafe_core_test.dir/core/table_printer_test.cc.o.d"
+  "eafe_core_test"
+  "eafe_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eafe_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

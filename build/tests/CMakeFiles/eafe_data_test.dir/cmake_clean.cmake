@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eafe_data_test.dir/data/arff_test.cc.o"
+  "CMakeFiles/eafe_data_test.dir/data/arff_test.cc.o.d"
+  "CMakeFiles/eafe_data_test.dir/data/column_test.cc.o"
+  "CMakeFiles/eafe_data_test.dir/data/column_test.cc.o.d"
+  "CMakeFiles/eafe_data_test.dir/data/csv_test.cc.o"
+  "CMakeFiles/eafe_data_test.dir/data/csv_test.cc.o.d"
+  "CMakeFiles/eafe_data_test.dir/data/dataframe_test.cc.o"
+  "CMakeFiles/eafe_data_test.dir/data/dataframe_test.cc.o.d"
+  "CMakeFiles/eafe_data_test.dir/data/meta_features_test.cc.o"
+  "CMakeFiles/eafe_data_test.dir/data/meta_features_test.cc.o.d"
+  "CMakeFiles/eafe_data_test.dir/data/registry_test.cc.o"
+  "CMakeFiles/eafe_data_test.dir/data/registry_test.cc.o.d"
+  "CMakeFiles/eafe_data_test.dir/data/scaler_test.cc.o"
+  "CMakeFiles/eafe_data_test.dir/data/scaler_test.cc.o.d"
+  "CMakeFiles/eafe_data_test.dir/data/split_test.cc.o"
+  "CMakeFiles/eafe_data_test.dir/data/split_test.cc.o.d"
+  "CMakeFiles/eafe_data_test.dir/data/synthetic_test.cc.o"
+  "CMakeFiles/eafe_data_test.dir/data/synthetic_test.cc.o.d"
+  "eafe_data_test"
+  "eafe_data_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eafe_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

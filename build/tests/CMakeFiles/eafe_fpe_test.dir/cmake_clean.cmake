@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eafe_fpe_test.dir/fpe/fpe_model_test.cc.o"
+  "CMakeFiles/eafe_fpe_test.dir/fpe/fpe_model_test.cc.o.d"
+  "CMakeFiles/eafe_fpe_test.dir/fpe/labeling_test.cc.o"
+  "CMakeFiles/eafe_fpe_test.dir/fpe/labeling_test.cc.o.d"
+  "CMakeFiles/eafe_fpe_test.dir/fpe/serialization_test.cc.o"
+  "CMakeFiles/eafe_fpe_test.dir/fpe/serialization_test.cc.o.d"
+  "CMakeFiles/eafe_fpe_test.dir/fpe/trainer_test.cc.o"
+  "CMakeFiles/eafe_fpe_test.dir/fpe/trainer_test.cc.o.d"
+  "eafe_fpe_test"
+  "eafe_fpe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eafe_fpe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eafe_hashing_test.dir/hashing/minhash_test.cc.o"
+  "CMakeFiles/eafe_hashing_test.dir/hashing/minhash_test.cc.o.d"
+  "CMakeFiles/eafe_hashing_test.dir/hashing/sample_compressor_test.cc.o"
+  "CMakeFiles/eafe_hashing_test.dir/hashing/sample_compressor_test.cc.o.d"
+  "CMakeFiles/eafe_hashing_test.dir/hashing/weighted_minhash_test.cc.o"
+  "CMakeFiles/eafe_hashing_test.dir/hashing/weighted_minhash_test.cc.o.d"
+  "eafe_hashing_test"
+  "eafe_hashing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eafe_hashing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

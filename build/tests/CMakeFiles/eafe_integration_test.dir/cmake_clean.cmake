@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eafe_integration_test.dir/integration/api_test.cc.o"
+  "CMakeFiles/eafe_integration_test.dir/integration/api_test.cc.o.d"
+  "CMakeFiles/eafe_integration_test.dir/integration/pipeline_test.cc.o"
+  "CMakeFiles/eafe_integration_test.dir/integration/pipeline_test.cc.o.d"
+  "eafe_integration_test"
+  "eafe_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eafe_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

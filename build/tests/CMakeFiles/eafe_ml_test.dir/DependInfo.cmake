@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/cross_validation_test.cc" "tests/CMakeFiles/eafe_ml_test.dir/ml/cross_validation_test.cc.o" "gcc" "tests/CMakeFiles/eafe_ml_test.dir/ml/cross_validation_test.cc.o.d"
+  "/root/repo/tests/ml/decision_tree_test.cc" "tests/CMakeFiles/eafe_ml_test.dir/ml/decision_tree_test.cc.o" "gcc" "tests/CMakeFiles/eafe_ml_test.dir/ml/decision_tree_test.cc.o.d"
+  "/root/repo/tests/ml/evaluator_test.cc" "tests/CMakeFiles/eafe_ml_test.dir/ml/evaluator_test.cc.o" "gcc" "tests/CMakeFiles/eafe_ml_test.dir/ml/evaluator_test.cc.o.d"
+  "/root/repo/tests/ml/feature_selection_test.cc" "tests/CMakeFiles/eafe_ml_test.dir/ml/feature_selection_test.cc.o" "gcc" "tests/CMakeFiles/eafe_ml_test.dir/ml/feature_selection_test.cc.o.d"
+  "/root/repo/tests/ml/gaussian_process_test.cc" "tests/CMakeFiles/eafe_ml_test.dir/ml/gaussian_process_test.cc.o" "gcc" "tests/CMakeFiles/eafe_ml_test.dir/ml/gaussian_process_test.cc.o.d"
+  "/root/repo/tests/ml/linear_test.cc" "tests/CMakeFiles/eafe_ml_test.dir/ml/linear_test.cc.o" "gcc" "tests/CMakeFiles/eafe_ml_test.dir/ml/linear_test.cc.o.d"
+  "/root/repo/tests/ml/metrics_test.cc" "tests/CMakeFiles/eafe_ml_test.dir/ml/metrics_test.cc.o" "gcc" "tests/CMakeFiles/eafe_ml_test.dir/ml/metrics_test.cc.o.d"
+  "/root/repo/tests/ml/mlp_test.cc" "tests/CMakeFiles/eafe_ml_test.dir/ml/mlp_test.cc.o" "gcc" "tests/CMakeFiles/eafe_ml_test.dir/ml/mlp_test.cc.o.d"
+  "/root/repo/tests/ml/naive_bayes_test.cc" "tests/CMakeFiles/eafe_ml_test.dir/ml/naive_bayes_test.cc.o" "gcc" "tests/CMakeFiles/eafe_ml_test.dir/ml/naive_bayes_test.cc.o.d"
+  "/root/repo/tests/ml/random_forest_test.cc" "tests/CMakeFiles/eafe_ml_test.dir/ml/random_forest_test.cc.o" "gcc" "tests/CMakeFiles/eafe_ml_test.dir/ml/random_forest_test.cc.o.d"
+  "/root/repo/tests/ml/resnet_test.cc" "tests/CMakeFiles/eafe_ml_test.dir/ml/resnet_test.cc.o" "gcc" "tests/CMakeFiles/eafe_ml_test.dir/ml/resnet_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/eafe_afe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_fpe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eafe_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eafe_ml_test.dir/ml/cross_validation_test.cc.o"
+  "CMakeFiles/eafe_ml_test.dir/ml/cross_validation_test.cc.o.d"
+  "CMakeFiles/eafe_ml_test.dir/ml/decision_tree_test.cc.o"
+  "CMakeFiles/eafe_ml_test.dir/ml/decision_tree_test.cc.o.d"
+  "CMakeFiles/eafe_ml_test.dir/ml/evaluator_test.cc.o"
+  "CMakeFiles/eafe_ml_test.dir/ml/evaluator_test.cc.o.d"
+  "CMakeFiles/eafe_ml_test.dir/ml/feature_selection_test.cc.o"
+  "CMakeFiles/eafe_ml_test.dir/ml/feature_selection_test.cc.o.d"
+  "CMakeFiles/eafe_ml_test.dir/ml/gaussian_process_test.cc.o"
+  "CMakeFiles/eafe_ml_test.dir/ml/gaussian_process_test.cc.o.d"
+  "CMakeFiles/eafe_ml_test.dir/ml/linear_test.cc.o"
+  "CMakeFiles/eafe_ml_test.dir/ml/linear_test.cc.o.d"
+  "CMakeFiles/eafe_ml_test.dir/ml/metrics_test.cc.o"
+  "CMakeFiles/eafe_ml_test.dir/ml/metrics_test.cc.o.d"
+  "CMakeFiles/eafe_ml_test.dir/ml/mlp_test.cc.o"
+  "CMakeFiles/eafe_ml_test.dir/ml/mlp_test.cc.o.d"
+  "CMakeFiles/eafe_ml_test.dir/ml/naive_bayes_test.cc.o"
+  "CMakeFiles/eafe_ml_test.dir/ml/naive_bayes_test.cc.o.d"
+  "CMakeFiles/eafe_ml_test.dir/ml/random_forest_test.cc.o"
+  "CMakeFiles/eafe_ml_test.dir/ml/random_forest_test.cc.o.d"
+  "CMakeFiles/eafe_ml_test.dir/ml/resnet_test.cc.o"
+  "CMakeFiles/eafe_ml_test.dir/ml/resnet_test.cc.o.d"
+  "eafe_ml_test"
+  "eafe_ml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eafe_ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(eafe_core_test "/root/repo/build/tests/eafe_core_test")
+set_tests_properties(eafe_core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;eafe_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eafe_data_test "/root/repo/build/tests/eafe_data_test")
+set_tests_properties(eafe_data_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;23;eafe_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eafe_ml_test "/root/repo/build/tests/eafe_ml_test")
+set_tests_properties(eafe_ml_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;35;eafe_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eafe_hashing_test "/root/repo/build/tests/eafe_hashing_test")
+set_tests_properties(eafe_hashing_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;49;eafe_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eafe_fpe_test "/root/repo/build/tests/eafe_fpe_test")
+set_tests_properties(eafe_fpe_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;55;eafe_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eafe_afe_test "/root/repo/build/tests/eafe_afe_test")
+set_tests_properties(eafe_afe_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;62;eafe_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eafe_integration_test "/root/repo/build/tests/eafe_integration_test")
+set_tests_properties(eafe_integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;74;eafe_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eafe_cli_usage "/root/repo/build/tools/eafe")
+set_tests_properties(eafe_cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;81;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eafe_cli_describe "/root/repo/build/tools/eafe" "describe" "--data" "/root/repo/build/tests/cli_fixture.csv" "--label" "y" "--task" "classification")
+set_tests_properties(eafe_cli_describe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;98;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eafe_cli_evaluate "/root/repo/build/tools/eafe" "evaluate" "--data" "/root/repo/build/tests/cli_fixture.csv" "--label" "y" "--task" "classification" "--folds" "3")
+set_tests_properties(eafe_cli_evaluate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;101;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eafe_cli_search_random "/root/repo/build/tools/eafe" "search" "--data" "/root/repo/build/tests/cli_fixture.csv" "--label" "y" "--task" "classification" "--method" "random" "--epochs" "2")
+set_tests_properties(eafe_cli_search_random PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;104;add_test;/root/repo/tests/CMakeLists.txt;0;")

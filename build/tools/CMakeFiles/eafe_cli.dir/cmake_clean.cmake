@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eafe_cli.dir/eafe_cli.cc.o"
+  "CMakeFiles/eafe_cli.dir/eafe_cli.cc.o.d"
+  "eafe"
+  "eafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eafe_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
