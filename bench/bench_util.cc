@@ -9,6 +9,7 @@
 #include "ml/metrics.h"
 #include "ml/random_forest.h"
 #include "ml/resnet.h"
+#include "runtime/thread_pool.h"
 
 namespace eafe::bench {
 
@@ -43,7 +44,8 @@ void AddStandardFlags(FlagParser* parser) {
                   "paper-scale run (all datasets, more epochs)")
       .AddInt("seed", 7, "global random seed")
       .AddInt("datasets", 0, "number of target datasets (0 = profile default)")
-      .AddInt("epochs", 0, "training epochs (0 = profile default)");
+      .AddInt("epochs", 0, "training epochs (0 = profile default)")
+      .AddThreads();
 }
 
 BenchConfig ConfigFromFlags(const FlagParser& parser) {
@@ -68,6 +70,9 @@ BenchConfig ConfigFromFlags(const FlagParser& parser) {
   if (parser.GetInt("epochs") > 0) {
     config.epochs = static_cast<size_t>(parser.GetInt("epochs"));
   }
+  config.threads =
+      static_cast<size_t>(std::max<int64_t>(parser.GetInt("threads"), 1));
+  runtime::SetGlobalThreads(config.threads);
   return config;
 }
 

@@ -43,14 +43,17 @@ struct BenchConfig {
   size_t generated_per_dataset = 16;
   /// Number of target datasets from the registry (0 = all 36).
   size_t num_datasets = 8;
+  /// Worker threads for the concurrent evaluation runtime (1 = serial).
+  /// ConfigFromFlags applies this to runtime::SetGlobalThreads.
+  size_t threads = 1;
 
   ml::EvaluatorOptions EvaluatorOptions() const;
   afe::SearchOptions SearchOptions() const;
   data::MaterializeOptions MaterializeOptions() const;
 };
 
-/// Declares the standard flags (--full, --seed, --datasets, --epochs) on a
-/// parser; call before Parse.
+/// Declares the standard flags (--full, --seed, --datasets, --epochs,
+/// --threads) on a parser; call before Parse.
 void AddStandardFlags(FlagParser* parser);
 
 /// Builds the config from parsed flags, applying the full-scale overrides

@@ -1,5 +1,6 @@
 #include "afe/eafe.h"
 
+#include "afe/eval_service.h"
 #include "core/rng.h"
 #include "core/stopwatch.h"
 
@@ -110,6 +111,9 @@ Result<SearchResult> EafeSearch::Run(const data::Dataset& dataset) {
   Stopwatch total_watch;
   Rng rng(options_.search.seed);
   ml::TaskEvaluator evaluator(options_.search.evaluator);
+  EvalService::Options service_options;
+  service_options.cache.capacity = options_.search.eval_cache_capacity;
+  EvalService eval_service(&evaluator, service_options);
   replay_.Clear();
 
   SearchResult result;
@@ -198,8 +202,8 @@ Result<SearchResult> EafeSearch::Run(const data::Dataset& dataset) {
             eval_watch.Restart();
             EAFE_ASSIGN_OR_RETURN(
                 double gain,
-                EvaluateCandidateGain(evaluator, space, candidate,
-                                      result.best_score));
+                eval_service.EvaluateGain(space, candidate,
+                                          result.best_score));
             result.evaluation_seconds += eval_watch.ElapsedSeconds();
             ++result.features_evaluated;
             reward = gain;
@@ -261,8 +265,8 @@ Result<SearchResult> EafeSearch::Run(const data::Dataset& dataset) {
           eval_watch.Restart();
           EAFE_ASSIGN_OR_RETURN(
               double gain,
-              EvaluateCandidateGain(evaluator, space, *candidate,
-                                    result.best_score));
+              eval_service.EvaluateGain(space, *candidate,
+                                        result.best_score));
           result.evaluation_seconds += eval_watch.ElapsedSeconds();
           ++result.features_evaluated;
           reward = gain;
@@ -310,6 +314,7 @@ Result<SearchResult> EafeSearch::Run(const data::Dataset& dataset) {
 
   result.best_dataset = space.ToDataset();
   result.downstream_evaluations = evaluator.evaluation_count();
+  result.eval_cache_hits = eval_service.cache_hits();
   EAFE_RETURN_NOT_OK(FinalizeSearchResult(options_.search, dataset, &result));
   result.total_seconds = total_watch.ElapsedSeconds();
   return result;

@@ -1,5 +1,6 @@
 #include "afe/random_search.h"
 
+#include "afe/eval_service.h"
 #include "core/rng.h"
 #include "core/stopwatch.h"
 
@@ -13,6 +14,9 @@ Result<SearchResult> RandomSearch::Run(const data::Dataset& dataset) {
   Stopwatch total_watch;
   Rng rng(options_.seed);
   ml::TaskEvaluator evaluator(options_.evaluator);
+  EvalService::Options service_options;
+  service_options.cache.capacity = options_.eval_cache_capacity;
+  EvalService eval_service(&evaluator, service_options);
 
   FeatureSpace::Options space_options;
   space_options.max_order = options_.max_order;
@@ -41,8 +45,8 @@ Result<SearchResult> RandomSearch::Run(const data::Dataset& dataset) {
 
         eval_watch.Restart();
         EAFE_ASSIGN_OR_RETURN(
-            double gain, EvaluateCandidateGain(evaluator, space, *candidate,
-                                               result.best_score));
+            double gain, eval_service.EvaluateGain(space, *candidate,
+                                                   result.best_score));
         result.evaluation_seconds += eval_watch.ElapsedSeconds();
         ++result.features_evaluated;
         if (gain > options_.accept_margin) {
@@ -74,6 +78,7 @@ Result<SearchResult> RandomSearch::Run(const data::Dataset& dataset) {
 
   result.best_dataset = space.ToDataset();
   result.downstream_evaluations = evaluator.evaluation_count();
+  result.eval_cache_hits = eval_service.cache_hits();
   EAFE_RETURN_NOT_OK(FinalizeSearchResult(options_, dataset, &result));
   result.total_seconds = total_watch.ElapsedSeconds();
   return result;

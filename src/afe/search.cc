@@ -19,16 +19,23 @@ std::vector<double> BuildAgentState(int last_action, double last_reward,
   return state;
 }
 
-Result<double> EvaluateCandidateGain(const ml::TaskEvaluator& evaluator,
-                                     const FeatureSpace& space,
-                                     const SpaceFeature& candidate,
-                                     double current_score) {
+Result<data::Dataset> BuildCandidateDataset(const FeatureSpace& space,
+                                            const SpaceFeature& candidate) {
   data::Dataset dataset = space.ToDataset();
   data::Column column = candidate.column;
   if (!dataset.features.AddColumn(column).ok()) {
     column.set_name(column.name() + "#cand");
     EAFE_RETURN_NOT_OK(dataset.features.AddColumn(std::move(column)));
   }
+  return dataset;
+}
+
+Result<double> EvaluateCandidateGain(const ml::TaskEvaluator& evaluator,
+                                     const FeatureSpace& space,
+                                     const SpaceFeature& candidate,
+                                     double current_score) {
+  EAFE_ASSIGN_OR_RETURN(data::Dataset dataset,
+                        BuildCandidateDataset(space, candidate));
   EAFE_ASSIGN_OR_RETURN(double score, evaluator.Score(dataset));
   return score - current_score;
 }

@@ -38,6 +38,11 @@ struct SearchOptions {
   /// (0 disables). The paper's complexity analysis compares methods
   /// "without early stopping"; enabling it shortens saturated runs.
   size_t early_stop_patience = 0;
+  /// Capacity of the per-run candidate score cache (signature -> CV
+  /// score). Candidates regenerated against an unchanged state are
+  /// answered without refitting the downstream model; 1 effectively
+  /// disables reuse while keeping the accounting identical.
+  size_t eval_cache_capacity = 1024;
   /// Re-score the final selected feature set (and the base features) with
   /// a held-out cross-validation seed. The greedy search accumulates
   /// positive CV-noise deltas — a winner's-curse bias that grows with the
@@ -74,6 +79,10 @@ struct SearchResult {
   size_t downstream_evaluations = 0;  ///< Candidate evaluations (Table IV).
   size_t features_generated = 0;
   size_t features_evaluated = 0;  ///< Candidates sent to the downstream task.
+  /// Evaluation requests the score cache answered without a model fit
+  /// (subset of features_evaluated; the actual fits paid are the
+  /// difference).
+  size_t eval_cache_hits = 0;
   size_t features_kept = 0;
   double generation_seconds = 0.0;
   double evaluation_seconds = 0.0;
@@ -99,6 +108,13 @@ std::vector<double> BuildAgentState(int last_action, double last_reward,
 
 /// Agent-state dimension (see BuildAgentState).
 constexpr size_t kAgentStateDim = kNumOperators + 3;
+
+/// The dataset a candidate is scored on: the current state plus the
+/// candidate column (renamed with a "#cand" suffix on a name collision).
+/// Shared by the serial gain helper below and the batched EvalService so
+/// both paths score byte-identical tables.
+Result<data::Dataset> BuildCandidateDataset(const FeatureSpace& space,
+                                            const SpaceFeature& candidate);
 
 /// Greedy candidate evaluation shared by all searches: scores the current
 /// state plus `candidate` on the downstream task and reports the gain

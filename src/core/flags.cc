@@ -1,6 +1,8 @@
 #include "core/flags.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 
 #include "core/check.h"
 #include "core/string_util.h"
@@ -38,6 +40,14 @@ FlagParser& FlagParser::AddBool(const std::string& name, bool def,
   flags_[name] = {Type::kBool, def ? "true" : "false", help};
   order_.push_back(name);
   return *this;
+}
+
+FlagParser& FlagParser::AddThreads() {
+  const int64_t hardware = std::max<int64_t>(
+      static_cast<int64_t>(std::thread::hardware_concurrency()), 1);
+  return AddInt("threads", hardware,
+                "worker threads for evaluation/CV/forest parallelism "
+                "(1 = serial)");
 }
 
 Status FlagParser::SetValue(const std::string& name,

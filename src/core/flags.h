@@ -25,6 +25,12 @@ class FlagParser {
   FlagParser& AddBool(const std::string& name, bool def,
                       const std::string& help);
 
+  /// Declares the standard `--threads` flag (worker-pool size for the
+  /// concurrent evaluation runtime). Defaults to the hardware thread
+  /// count; 1 selects the fully serial path. Callers pass GetInt("threads")
+  /// to runtime::SetGlobalThreads after Parse.
+  FlagParser& AddThreads();
+
   /// Parses argv (skipping argv[0]). On `--help`, prints usage and returns
   /// a NotFound status the caller can treat as "exit 0".
   Status Parse(int argc, char** argv);

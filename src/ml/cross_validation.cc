@@ -5,6 +5,7 @@
 #include "core/rng.h"
 #include "data/split.h"
 #include "ml/metrics.h"
+#include "runtime/thread_pool.h"
 
 namespace eafe::ml {
 
@@ -43,11 +44,17 @@ Result<std::vector<double>> CrossValidateScores(const ModelFactory& factory,
         folds, data::KFoldIndices(dataset.num_rows(), options.folds, &rng));
   }
 
-  std::vector<double> scores;
-  scores.reserve(folds.size());
-  for (const data::Fold& fold : folds) {
-    const data::Dataset train = dataset.SelectRows(fold.train);
-    const data::Dataset test = dataset.SelectRows(fold.test);
+  // Folds are independent given the (serially drawn) index partition, so
+  // they fan out across the global pool: each fold writes only its own
+  // slot and errors are reported in fold order, keeping results identical
+  // at any thread count. Model training inside a fold that parallelizes
+  // through the same pool (e.g. per-tree forest fitting) runs inline on
+  // the worker instead of oversubscribing.
+  std::vector<double> scores(folds.size(), 0.0);
+  std::vector<Status> statuses(folds.size());
+  auto run_fold = [&](size_t i) -> Status {
+    const data::Dataset train = dataset.SelectRows(folds[i].train);
+    const data::Dataset test = dataset.SelectRows(folds[i].test);
     std::unique_ptr<Model> model = factory();
     if (model == nullptr) {
       return Status::Internal("model factory returned null");
@@ -55,7 +62,17 @@ Result<std::vector<double>> CrossValidateScores(const ModelFactory& factory,
     EAFE_RETURN_NOT_OK(model->Fit(train.features, train.labels));
     EAFE_ASSIGN_OR_RETURN(std::vector<double> predicted,
                           model->Predict(test.features));
-    scores.push_back(TaskScore(dataset.task, test.labels, predicted));
+    scores[i] = TaskScore(dataset.task, test.labels, predicted);
+    return Status::OK();
+  };
+  runtime::ParallelFor(runtime::GlobalPool(), folds.size(),
+                       [&](size_t begin, size_t end) {
+                         for (size_t i = begin; i < end; ++i) {
+                           statuses[i] = run_fold(i);
+                         }
+                       });
+  for (const Status& status : statuses) {
+    EAFE_RETURN_NOT_OK(status);
   }
   return scores;
 }

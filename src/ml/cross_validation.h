@@ -22,6 +22,11 @@ struct CvOptions {
 /// 1-RAE for regression): fits a fresh model from `factory` on each
 /// training fold and scores on its held-out fold; returns the mean.
 /// This is the paper's A_T(F, y) feature-set evaluation.
+///
+/// Folds run concurrently on the global runtime pool (serially when
+/// --threads=1), so `factory` may be invoked from several threads at once
+/// and must not mutate shared state. Fold assignment and the mean are
+/// computed in fold order: results are identical at any thread count.
 Result<double> CrossValidateScore(const ModelFactory& factory,
                                   const data::Dataset& dataset,
                                   const CvOptions& options = {});

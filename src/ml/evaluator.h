@@ -1,6 +1,7 @@
 #ifndef EAFE_ML_EVALUATOR_H_
 #define EAFE_ML_EVALUATOR_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -60,13 +61,25 @@ class TaskEvaluator {
   const EvaluatorOptions& options() const { return options_; }
 
   /// Number of Score() calls since construction / last reset. Mutable
-  /// accounting: scoring does not change evaluation semantics.
-  size_t evaluation_count() const { return evaluation_count_; }
-  void ResetEvaluationCount() { evaluation_count_ = 0; }
+  /// atomic accounting: scoring does not change evaluation semantics, and
+  /// the evaluation service scores batches from pool workers concurrently.
+  size_t evaluation_count() const {
+    return evaluation_count_.load(std::memory_order_relaxed);
+  }
+  void ResetEvaluationCount() {
+    evaluation_count_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Counts a request that a score cache answered without a model fit, so
+  /// evaluation accounting stays identical to the cache-free serial path
+  /// (Table IV counts requested evaluations, not model fits).
+  void RecordCachedScore() const {
+    evaluation_count_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   EvaluatorOptions options_;
-  mutable size_t evaluation_count_ = 0;
+  mutable std::atomic<size_t> evaluation_count_{0};
 };
 
 }  // namespace eafe::ml

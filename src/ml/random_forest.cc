@@ -6,6 +6,7 @@
 
 #include "core/check.h"
 #include "core/string_util.h"
+#include "runtime/thread_pool.h"
 
 namespace eafe::ml {
 
@@ -40,24 +41,52 @@ Status RandomForest::Fit(const data::DataFrame& x,
   const size_t sample_size = std::max<size_t>(
       1, static_cast<size_t>(std::round(options_.subsample *
                                         static_cast<double>(n))));
-  trees_.reserve(options_.num_trees);
-  for (size_t t = 0; t < options_.num_trees; ++t) {
+  // All randomness is drawn serially up front (bootstrap samples in tree
+  // order, then each tree's seed), so the fit is bit-identical to the
+  // serial path at any thread count; only the tree training itself fans
+  // out. When Fit already runs on a pool worker (a cross-validation fold),
+  // the trees train inline rather than oversubscribing.
+  struct TreePlan {
+    std::vector<size_t> sample;
+    uint64_t seed = 0;
+  };
+  std::vector<TreePlan> plans(options_.num_trees);
+  for (TreePlan& plan : plans) {
     // Bootstrap sample (with replacement).
-    std::vector<size_t> sample(sample_size);
-    for (size_t& s : sample) s = rng.UniformInt(static_cast<uint64_t>(n));
-    data::DataFrame xt = x.SelectRows(sample);
-    std::vector<double> yt(sample_size);
-    for (size_t i = 0; i < sample_size; ++i) yt[i] = y[sample[i]];
+    plan.sample.resize(sample_size);
+    for (size_t& s : plan.sample) {
+      s = rng.UniformInt(static_cast<uint64_t>(n));
+    }
+    plan.seed = rng.Next();
+  }
 
-    DecisionTree::Options tree_options;
-    tree_options.task = options_.task;
-    tree_options.max_depth = options_.max_depth;
-    tree_options.min_samples_leaf = options_.min_samples_leaf;
-    tree_options.max_features = max_features;
-    tree_options.seed = rng.Next();
-    DecisionTree tree(tree_options);
-    EAFE_RETURN_NOT_OK(tree.Fit(xt, yt));
-    trees_.push_back(std::move(tree));
+  trees_.resize(options_.num_trees);
+  std::vector<Status> statuses(options_.num_trees);
+  runtime::ParallelFor(
+      runtime::GlobalPool(), options_.num_trees,
+      [&](size_t begin, size_t end) {
+        for (size_t t = begin; t < end; ++t) {
+          const TreePlan& plan = plans[t];
+          data::DataFrame xt = x.SelectRows(plan.sample);
+          std::vector<double> yt(sample_size);
+          for (size_t i = 0; i < sample_size; ++i) yt[i] = y[plan.sample[i]];
+
+          DecisionTree::Options tree_options;
+          tree_options.task = options_.task;
+          tree_options.max_depth = options_.max_depth;
+          tree_options.min_samples_leaf = options_.min_samples_leaf;
+          tree_options.max_features = max_features;
+          tree_options.seed = plan.seed;
+          DecisionTree tree(tree_options);
+          statuses[t] = tree.Fit(xt, yt);
+          if (statuses[t].ok()) trees_[t] = std::move(tree);
+        }
+      });
+  for (const Status& status : statuses) {
+    if (!status.ok()) {
+      trees_.clear();
+      return status;
+    }
   }
   return Status::OK();
 }

@@ -1,0 +1,88 @@
+#ifndef EAFE_RUNTIME_SCORE_CACHE_H_
+#define EAFE_RUNTIME_SCORE_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace eafe::runtime {
+
+/// Thread-safe sharded LRU map from a 64-bit signature to a score. The
+/// evaluation service keys it by the canonical transformation-signature
+/// hash of (evaluator config, feature-set state, candidate), so a
+/// candidate regenerated against an unchanged state never pays a second
+/// cross-validation.
+///
+/// Sharding bounds contention: a key is pinned to one shard by a mixed
+/// hash, each shard has its own mutex and LRU list, and the per-shard
+/// capacity is capacity / shards. Recency is therefore per shard, which is
+/// the standard approximation of global LRU.
+class ScoreCache {
+ public:
+  struct Options {
+    size_t capacity = 1024;  ///< Total entries across all shards.
+    size_t shards = 8;       ///< Rounded up to a power of two.
+  };
+
+  ScoreCache() : ScoreCache(Options()) {}
+  explicit ScoreCache(const Options& options);
+
+  ScoreCache(const ScoreCache&) = delete;
+  ScoreCache& operator=(const ScoreCache&) = delete;
+
+  /// The cached score for `key`, refreshing its recency; nullopt on miss.
+  std::optional<double> Lookup(uint64_t key);
+
+  /// Inserts or refreshes `key`, evicting the shard's least-recent entry
+  /// when the shard is full.
+  void Insert(uint64_t key, double score);
+
+  void Clear();
+
+  size_t size() const;
+  size_t num_shards() const { return shards_.size(); }
+
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t insertions = 0;
+    size_t evictions = 0;
+    double HitRate() const {
+      const size_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+  Stats stats() const;
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    /// Front = most recently used.
+    std::list<std::pair<uint64_t, double>> lru;
+    std::unordered_map<uint64_t,
+                       std::list<std::pair<uint64_t, double>>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(uint64_t key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_capacity_;
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
+  std::atomic<size_t> insertions_{0};
+  std::atomic<size_t> evictions_{0};
+};
+
+}  // namespace eafe::runtime
+
+#endif  // EAFE_RUNTIME_SCORE_CACHE_H_

@@ -1,0 +1,163 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace eafe::runtime {
+namespace {
+
+// Worker identity for the calling thread; -1 / null off-pool.
+thread_local int tls_worker_index = -1;
+thread_local Rng* tls_worker_rng = nullptr;
+// Open ParallelFor regions on the calling thread. Block 0 of a region
+// runs on the caller, which may not be a pool worker; the depth makes
+// regions nested under it run inline too instead of re-fanning out.
+thread_local size_t tls_region_depth = 0;
+
+size_t ResolveThreads(size_t requested) {
+  if (requested > 0) return requested;
+  return std::max<size_t>(std::thread::hardware_concurrency(), 1);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(const Options& options)
+    : rng_seed_(options.rng_seed) {
+  const size_t count = ResolveThreads(options.num_threads);
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::WorkerMain(size_t index) {
+  // Stream i is splitmix-expanded from (seed, i) by the Rng constructor,
+  // so recreating a pool with the same seed reproduces every stream.
+  Rng rng(rng_seed_ + 0x9E3779B97F4A7C15ULL * (index + 1));
+  tls_worker_index = static_cast<int>(index);
+  tls_worker_rng = &rng;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // shutdown_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // Exceptions land in the task's future.
+  }
+  tls_worker_index = -1;
+  tls_worker_rng = nullptr;
+}
+
+int ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
+
+bool ThreadPool::OnWorkerThread() { return tls_worker_index >= 0; }
+
+Rng* ThreadPool::CurrentWorkerRng() { return tls_worker_rng; }
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1 ||
+      ThreadPool::OnWorkerThread() || tls_region_depth > 0) {
+    fn(0, n);
+    return;
+  }
+  const size_t blocks = std::min(pool->num_threads(), n);
+  std::vector<std::future<void>> futures;
+  futures.reserve(blocks - 1);
+  for (size_t b = 1; b < blocks; ++b) {
+    const size_t begin = b * n / blocks;
+    const size_t end = (b + 1) * n / blocks;
+    futures.push_back(pool->Submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  // The caller owns block 0. Its exception must not unwind past the
+  // remote blocks, which still reference fn.
+  std::exception_ptr first;
+  ++tls_region_depth;
+  try {
+    fn(0, n / blocks);
+  } catch (...) {
+    first = std::current_exception();
+  }
+  --tls_region_depth;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+namespace {
+
+struct GlobalPoolState {
+  std::mutex mutex;
+  size_t configured = 0;  // 0 = hardware default.
+  size_t built_size = 0;
+  std::unique_ptr<ThreadPool> pool;
+};
+
+GlobalPoolState& GlobalState() {
+  static GlobalPoolState* state = new GlobalPoolState();
+  return *state;
+}
+
+}  // namespace
+
+void SetGlobalThreads(size_t num_threads) {
+  GlobalPoolState& state = GlobalState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.configured = num_threads;
+}
+
+size_t GlobalThreads() {
+  GlobalPoolState& state = GlobalState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return ResolveThreads(state.configured);
+}
+
+ThreadPool* GlobalPool() {
+  GlobalPoolState& state = GlobalState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  const size_t resolved = ResolveThreads(state.configured);
+  if (resolved <= 1) {
+    state.pool.reset();
+    state.built_size = 0;
+    return nullptr;
+  }
+  if (state.pool == nullptr || state.built_size != resolved) {
+    state.pool.reset();  // Join the old workers before rebuilding.
+    state.pool = std::make_unique<ThreadPool>(resolved);
+    state.built_size = resolved;
+  }
+  return state.pool.get();
+}
+
+}  // namespace eafe::runtime

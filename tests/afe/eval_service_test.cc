@@ -1,0 +1,216 @@
+#include "afe/eval_service.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "afe/nfs.h"
+#include "data/registry.h"
+#include "runtime/thread_pool.h"
+
+namespace eafe::afe {
+namespace {
+
+data::Dataset SmallTarget() {
+  data::MaterializeOptions options;
+  options.max_samples = 150;
+  options.max_features = 5;
+  return data::MakeTargetDatasetByName("PimaIndian", options).ValueOrDie();
+}
+
+ml::EvaluatorOptions QuickEvaluator() {
+  ml::EvaluatorOptions options;
+  options.cv_folds = 3;
+  options.rf_trees = 4;
+  options.rf_max_depth = 3;
+  options.seed = 5;
+  return options;
+}
+
+/// `count` syntactically valid candidates with distinct names.
+std::vector<SpaceFeature> MakeCandidates(const FeatureSpace& space,
+                                         size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SpaceFeature> candidates;
+  std::unordered_set<std::string> names;
+  while (candidates.size() < count) {
+    const size_t group = rng.UniformInt(space.num_groups());
+    const FeatureSpace::Action action = space.SampleRandomAction(group, &rng);
+    auto candidate = space.GenerateCandidate(action);
+    if (!candidate.ok()) continue;
+    if (!names.insert(candidate->column.name()).second) continue;
+    candidates.push_back(std::move(candidate).ValueOrDie());
+  }
+  return candidates;
+}
+
+class EvalServiceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { runtime::SetGlobalThreads(1); }
+};
+
+TEST_F(EvalServiceTest, GainMatchesSerialEvaluateCandidateGain) {
+  runtime::SetGlobalThreads(1);
+  const data::Dataset dataset = SmallTarget();
+  FeatureSpace space(dataset, {});
+  const std::vector<SpaceFeature> candidates = MakeCandidates(space, 3, 21);
+
+  ml::TaskEvaluator reference(QuickEvaluator());
+  ml::TaskEvaluator evaluator(QuickEvaluator());
+  EvalService service(&evaluator);
+  for (const SpaceFeature& candidate : candidates) {
+    const double expected =
+        EvaluateCandidateGain(reference, space, candidate, 0.25)
+            .ValueOrDie();
+    const double actual =
+        service.EvaluateGain(space, candidate, 0.25).ValueOrDie();
+    EXPECT_EQ(actual, expected);  // Bit-identical, not just close.
+  }
+}
+
+TEST_F(EvalServiceTest, CacheHitAndMissAccounting) {
+  runtime::SetGlobalThreads(1);
+  const data::Dataset dataset = SmallTarget();
+  FeatureSpace space(dataset, {});
+  const SpaceFeature candidate = MakeCandidates(space, 1, 3).front();
+
+  ml::TaskEvaluator evaluator(QuickEvaluator());
+  EvalService service(&evaluator);
+  const double first =
+      service.EvaluateGain(space, candidate, 0.0).ValueOrDie();
+  const double second =
+      service.EvaluateGain(space, candidate, 0.0).ValueOrDie();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(service.requests(), 2u);
+  EXPECT_EQ(service.cache_hits(), 1u);
+  // One model fit happened...
+  EXPECT_EQ(service.cache().stats().insertions, 1u);
+  // ...but the accounting matches the cache-free serial path.
+  EXPECT_EQ(evaluator.evaluation_count(), 2u);
+}
+
+TEST_F(EvalServiceTest, BatchDeduplicatesIdenticalCandidates) {
+  runtime::SetGlobalThreads(1);
+  const data::Dataset dataset = SmallTarget();
+  FeatureSpace space(dataset, {});
+  const std::vector<SpaceFeature> unique = MakeCandidates(space, 2, 7);
+  // a, b, a, a: one fit for a, one for b.
+  const std::vector<SpaceFeature> batch = {unique[0], unique[1], unique[0],
+                                           unique[0]};
+
+  ml::TaskEvaluator evaluator(QuickEvaluator());
+  EvalService service(&evaluator);
+  const std::vector<EvalService::Outcome> outcomes =
+      service.EvaluateBatch(space, batch, 0.0).ValueOrDie();
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_EQ(outcomes[0].signature, outcomes[2].signature);
+  EXPECT_EQ(outcomes[0].score, outcomes[2].score);
+  EXPECT_EQ(outcomes[0].score, outcomes[3].score);
+  EXPECT_NE(outcomes[0].signature, outcomes[1].signature);
+  EXPECT_FALSE(outcomes[0].cache_hit);
+  EXPECT_TRUE(outcomes[2].cache_hit);
+  EXPECT_TRUE(outcomes[3].cache_hit);
+  EXPECT_EQ(service.cache().stats().insertions, 2u);
+  EXPECT_EQ(evaluator.evaluation_count(), 4u);  // Requests, not fits.
+}
+
+TEST_F(EvalServiceTest, SignatureTracksStateAndCandidate) {
+  const data::Dataset dataset = SmallTarget();
+  FeatureSpace space(dataset, {});
+  const std::vector<SpaceFeature> candidates = MakeCandidates(space, 2, 13);
+  const ml::EvaluatorOptions options = QuickEvaluator();
+
+  const auto signature = [&](const SpaceFeature& candidate,
+                             const ml::EvaluatorOptions& opts) {
+    return EvaluationSignature(
+        BuildCandidateDataset(space, candidate).ValueOrDie(), opts);
+  };
+  // Same request -> same signature; different candidate or different
+  // evaluator settings -> different signature.
+  EXPECT_EQ(signature(candidates[0], options),
+            signature(candidates[0], options));
+  EXPECT_NE(signature(candidates[0], options),
+            signature(candidates[1], options));
+  ml::EvaluatorOptions other_seed = options;
+  other_seed.seed += 1;
+  EXPECT_NE(signature(candidates[0], options),
+            signature(candidates[0], other_seed));
+}
+
+TEST_F(EvalServiceTest, ParallelBatchMatchesSerialBitForBit) {
+  const data::Dataset dataset = SmallTarget();
+  FeatureSpace space(dataset, {});
+  const std::vector<SpaceFeature> candidates = MakeCandidates(space, 8, 31);
+
+  runtime::SetGlobalThreads(1);
+  ml::TaskEvaluator serial_evaluator(QuickEvaluator());
+  EvalService serial(&serial_evaluator);
+  const std::vector<EvalService::Outcome> serial_outcomes =
+      serial.EvaluateBatch(space, candidates, 0.5).ValueOrDie();
+
+  runtime::SetGlobalThreads(4);
+  ml::TaskEvaluator parallel_evaluator(QuickEvaluator());
+  EvalService parallel(&parallel_evaluator);
+  const std::vector<EvalService::Outcome> parallel_outcomes =
+      parallel.EvaluateBatch(space, candidates, 0.5).ValueOrDie();
+
+  ASSERT_EQ(serial_outcomes.size(), parallel_outcomes.size());
+  for (size_t i = 0; i < serial_outcomes.size(); ++i) {
+    EXPECT_EQ(serial_outcomes[i].score, parallel_outcomes[i].score);
+    EXPECT_EQ(serial_outcomes[i].gain, parallel_outcomes[i].gain);
+    EXPECT_EQ(serial_outcomes[i].signature, parallel_outcomes[i].signature);
+  }
+  // Repeated parallel runs are identical to each other, too.
+  ml::TaskEvaluator repeat_evaluator(QuickEvaluator());
+  EvalService repeat(&repeat_evaluator);
+  const std::vector<EvalService::Outcome> repeat_outcomes =
+      repeat.EvaluateBatch(space, candidates, 0.5).ValueOrDie();
+  for (size_t i = 0; i < serial_outcomes.size(); ++i) {
+    EXPECT_EQ(parallel_outcomes[i].score, repeat_outcomes[i].score);
+  }
+}
+
+TEST_F(EvalServiceTest, SearchIsIdenticalAcrossThreadCounts) {
+  // End-to-end determinism: a whole NFS run at --threads=1 and at
+  // --threads=4 must produce the same scores, counts, and kept features.
+  const data::Dataset dataset = SmallTarget();
+  SearchOptions options;
+  options.epochs = 2;
+  options.steps_per_agent = 2;
+  options.evaluator = QuickEvaluator();
+  options.seed = 19;
+
+  runtime::SetGlobalThreads(1);
+  const SearchResult serial =
+      NfsSearch(options).Run(dataset).ValueOrDie();
+  runtime::SetGlobalThreads(4);
+  const SearchResult parallel =
+      NfsSearch(options).Run(dataset).ValueOrDie();
+
+  EXPECT_EQ(serial.base_score, parallel.base_score);
+  EXPECT_EQ(serial.best_score, parallel.best_score);
+  EXPECT_EQ(serial.search_score, parallel.search_score);
+  EXPECT_EQ(serial.features_generated, parallel.features_generated);
+  EXPECT_EQ(serial.features_evaluated, parallel.features_evaluated);
+  EXPECT_EQ(serial.features_kept, parallel.features_kept);
+  EXPECT_EQ(serial.downstream_evaluations, parallel.downstream_evaluations);
+  EXPECT_EQ(serial.best_dataset.features.ColumnNames(),
+            parallel.best_dataset.features.ColumnNames());
+}
+
+TEST_F(EvalServiceTest, ScoreDatasetUsesCache) {
+  runtime::SetGlobalThreads(1);
+  const data::Dataset dataset = SmallTarget();
+  ml::TaskEvaluator evaluator(QuickEvaluator());
+  EvalService service(&evaluator);
+  const double first = service.ScoreDataset(dataset).ValueOrDie();
+  const double second = service.ScoreDataset(dataset).ValueOrDie();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(service.cache_hits(), 1u);
+  EXPECT_EQ(evaluator.evaluation_count(), 2u);
+}
+
+}  // namespace
+}  // namespace eafe::afe

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "ml/metrics.h"
+#include "runtime/thread_pool.h"
 #include "tests/ml/test_util.h"
 
 namespace eafe::ml {
@@ -124,6 +125,24 @@ TEST(RandomForestTest, RejectsBadOptions) {
   options.subsample = 0.0;
   EXPECT_FALSE(
       RandomForest(options).Fit(dataset.features, dataset.labels).ok());
+}
+
+TEST(RandomForestTest, FitIsIdenticalAcrossThreadCounts) {
+  // Bootstrap samples and tree seeds are pre-drawn serially, so parallel
+  // tree training must be bit-identical to the serial path.
+  const data::Dataset dataset = MakeXor(200, 11);
+  runtime::SetGlobalThreads(1);
+  RandomForest serial;
+  ASSERT_TRUE(serial.Fit(dataset.features, dataset.labels).ok());
+  runtime::SetGlobalThreads(4);
+  RandomForest parallel;
+  ASSERT_TRUE(parallel.Fit(dataset.features, dataset.labels).ok());
+  EXPECT_EQ(serial.Predict(dataset.features).ValueOrDie(),
+            parallel.Predict(dataset.features).ValueOrDie());
+  EXPECT_EQ(serial.PredictProba(dataset.features).ValueOrDie(),
+            parallel.PredictProba(dataset.features).ValueOrDie());
+  EXPECT_EQ(serial.FeatureImportances(), parallel.FeatureImportances());
+  runtime::SetGlobalThreads(1);
 }
 
 TEST(RandomForestTest, ErrorsBeforeFitAndOnMismatch) {

@@ -1,0 +1,108 @@
+#include "runtime/score_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace eafe::runtime {
+namespace {
+
+TEST(ScoreCacheTest, InsertThenLookup) {
+  ScoreCache cache;
+  EXPECT_FALSE(cache.Lookup(42).has_value());
+  cache.Insert(42, 0.75);
+  const std::optional<double> hit = cache.Lookup(42);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 0.75);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ScoreCacheTest, InsertRefreshesExistingKey) {
+  ScoreCache cache;
+  cache.Insert(7, 0.1);
+  cache.Insert(7, 0.2);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(*cache.Lookup(7), 0.2);
+  EXPECT_EQ(cache.stats().insertions, 1u);  // The refresh is not an insert.
+}
+
+TEST(ScoreCacheTest, EvictsLeastRecentlyUsedWithinShard) {
+  // One shard makes recency global and the eviction order observable.
+  ScoreCache::Options options;
+  options.capacity = 3;
+  options.shards = 1;
+  ScoreCache cache(options);
+  cache.Insert(1, 1.0);
+  cache.Insert(2, 2.0);
+  cache.Insert(3, 3.0);
+  EXPECT_TRUE(cache.Lookup(1).has_value());  // 1 becomes most recent.
+  cache.Insert(4, 4.0);                      // Evicts 2, the LRU entry.
+  EXPECT_FALSE(cache.Lookup(2).has_value());
+  EXPECT_TRUE(cache.Lookup(1).has_value());
+  EXPECT_TRUE(cache.Lookup(3).has_value());
+  EXPECT_TRUE(cache.Lookup(4).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(ScoreCacheTest, StatsCountHitsAndMisses) {
+  ScoreCache cache;
+  cache.Insert(5, 0.5);
+  (void)cache.Lookup(5);
+  (void)cache.Lookup(5);
+  (void)cache.Lookup(6);
+  const ScoreCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 2.0 / 3.0);
+}
+
+TEST(ScoreCacheTest, ClearEmptiesEveryShard) {
+  ScoreCache cache;
+  for (uint64_t k = 0; k < 100; ++k) cache.Insert(k, static_cast<double>(k));
+  EXPECT_GT(cache.size(), 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(0).has_value());
+}
+
+TEST(ScoreCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  ScoreCache::Options options;
+  options.shards = 5;
+  ScoreCache cache(options);
+  EXPECT_EQ(cache.num_shards(), 8u);
+}
+
+TEST(ScoreCacheTest, ConcurrentMixedWorkloadIsConsistent) {
+  ScoreCache::Options options;
+  options.capacity = 4096;
+  ScoreCache cache(options);
+  ThreadPool pool(8);
+  constexpr uint64_t kKeys = 512;
+  // Writers and readers hammer overlapping keys; values are derived from
+  // keys, so any hit must carry the writer's exact value.
+  std::atomic<size_t> bad_values{0};
+  ParallelFor(&pool, 16 * kKeys, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const uint64_t key = i % kKeys;
+      const double expected = static_cast<double>(key) * 0.5;
+      if (i % 3 == 0) {
+        cache.Insert(key, expected);
+      } else if (std::optional<double> hit = cache.Lookup(key)) {
+        if (*hit != expected) bad_values.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(bad_values.load(), 0u);
+  for (uint64_t key = 0; key < kKeys; ++key) cache.Insert(key, 1.0);
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    ASSERT_TRUE(cache.Lookup(key).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace eafe::runtime

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Repository check: full build + tests, then the concurrency-sensitive
+# tests (thread pool, score cache, eval service) again under
+# ThreadSanitizer. Run from anywhere; build trees live in the repo root.
+#
+#   tools/check.sh            # full check
+#   tools/check.sh --no-tsan  # skip the sanitizer pass
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+run_tsan=1
+[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+
+echo "== build + ctest (${root}/build) =="
+cmake -B "${root}/build" -S "${root}" >/dev/null
+cmake --build "${root}/build" -j "${jobs}"
+ctest --test-dir "${root}/build" --output-on-failure -j "${jobs}"
+
+if [[ "${run_tsan}" == 1 ]]; then
+  echo "== runtime tests under ThreadSanitizer (${root}/build-tsan) =="
+  cmake -B "${root}/build-tsan" -S "${root}" \
+    -DEAFE_SANITIZE=thread \
+    -DEAFE_BUILD_BENCHMARKS=OFF \
+    -DEAFE_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "${root}/build-tsan" -j "${jobs}" \
+    --target eafe_runtime_test eafe_eval_service_test
+  ctest --test-dir "${root}/build-tsan" --output-on-failure -j "${jobs}" \
+    -R 'eafe_(runtime|eval_service)_test'
+fi
+
+echo "== check.sh: OK =="

@@ -16,6 +16,7 @@
 //   eafe describe --data train.csv --label target --task classification
 //       Shape, per-column statistics, and RF feature importances.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -25,6 +26,7 @@
 #include "eafe.h"
 #include "fpe/serialization.h"
 #include "ml/feature_selection.h"
+#include "runtime/thread_pool.h"
 
 namespace eafe::cli {
 namespace {
@@ -32,6 +34,11 @@ namespace {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+void ApplyThreads(const FlagParser& flags) {
+  runtime::SetGlobalThreads(
+      static_cast<size_t>(std::max<int64_t>(flags.GetInt("threads"), 1)));
 }
 
 Result<data::Dataset> LoadDataset(const FlagParser& flags) {
@@ -60,10 +67,12 @@ int Pretrain(int argc, char** argv) {
       .AddString("scheme", "", "fix one MinHash scheme (default: sweep)")
       .AddInt("dimension", 48, "signature dimension d")
       .AddDouble("thre", 0.01, "label threshold")
-      .AddInt("seed", 17, "random seed");
+      .AddInt("seed", 17, "random seed")
+      .AddThreads();
   const Status parsed = flags.Parse(argc, argv);
   if (parsed.code() == StatusCode::kNotFound) return 0;
   if (!parsed.ok()) return Fail(parsed);
+  ApplyThreads(flags);
 
   afe::FpePretrainingOptions options;
   options.trainer.dimensions = {
@@ -105,10 +114,12 @@ int Search(int argc, char** argv) {
       .AddInt("epochs", 10, "training epochs")
       .AddInt("max-features", 48, "RF-importance pre-selection cap")
       .AddString("out", "", "write the engineered table to this CSV")
-      .AddInt("seed", 17, "random seed");
+      .AddInt("seed", 17, "random seed")
+      .AddThreads();
   const Status parsed = flags.Parse(argc, argv);
   if (parsed.code() == StatusCode::kNotFound) return 0;
   if (!parsed.ok()) return Fail(parsed);
+  ApplyThreads(flags);
 
   auto dataset = LoadDataset(flags);
   if (!dataset.ok()) return Fail(dataset.status());
@@ -189,10 +200,12 @@ int Evaluate(int argc, char** argv) {
       .AddString("task", "classification", "classification|regression")
       .AddString("downstream", "rf", "rf|tree|logreg|svm|nb_gp|mlp|resnet")
       .AddInt("folds", 5, "cross-validation folds")
-      .AddInt("seed", 17, "random seed");
+      .AddInt("seed", 17, "random seed")
+      .AddThreads();
   const Status parsed = flags.Parse(argc, argv);
   if (parsed.code() == StatusCode::kNotFound) return 0;
   if (!parsed.ok()) return Fail(parsed);
+  ApplyThreads(flags);
 
   auto dataset = LoadDataset(flags);
   if (!dataset.ok()) return Fail(dataset.status());
