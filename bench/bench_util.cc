@@ -19,6 +19,7 @@ ml::EvaluatorOptions BenchConfig::EvaluatorOptions() const {
   options.rf_trees = rf_trees;
   options.rf_max_depth = rf_max_depth;
   options.seed = seed;
+  options.split_strategy = split_strategy;
   return options;
 }
 
@@ -45,6 +46,8 @@ void AddStandardFlags(FlagParser* parser) {
       .AddInt("seed", 7, "global random seed")
       .AddInt("datasets", 0, "number of target datasets (0 = profile default)")
       .AddInt("epochs", 0, "training epochs (0 = profile default)")
+      .AddString("split-strategy", "histogram",
+                 "tree split backend: exact | histogram")
       .AddThreads();
 }
 
@@ -70,6 +73,13 @@ BenchConfig ConfigFromFlags(const FlagParser& parser) {
   if (parser.GetInt("epochs") > 0) {
     config.epochs = static_cast<size_t>(parser.GetInt("epochs"));
   }
+  auto strategy =
+      ml::SplitStrategyFromString(parser.GetString("split-strategy"));
+  if (!strategy.ok()) {
+    std::fprintf(stderr, "%s\n", strategy.status().ToString().c_str());
+    std::exit(1);
+  }
+  config.split_strategy = strategy.ValueOrDie();
   config.threads =
       static_cast<size_t>(std::max<int64_t>(parser.GetInt("threads"), 1));
   runtime::SetGlobalThreads(config.threads);
@@ -263,6 +273,7 @@ Result<double> ScoreRfOnSplit(const ResNetSplit& split,
   rf_options.num_trees = config.rf_trees;
   rf_options.max_depth = config.rf_max_depth;
   rf_options.seed = config.seed;
+  rf_options.split_strategy = config.split_strategy;
   ml::RandomForest forest(rf_options);
   EAFE_RETURN_NOT_OK(forest.Fit(split.train.features, split.train.labels));
   EAFE_ASSIGN_OR_RETURN(std::vector<double> predicted,
@@ -290,6 +301,7 @@ Result<double> ScoreDlThenFe(const data::Dataset& dataset,
   rf_options.num_trees = config.rf_trees;
   rf_options.max_depth = config.rf_max_depth;
   rf_options.seed = config.seed;
+  rf_options.split_strategy = config.split_strategy;
   ml::RandomForest forest(rf_options);
   EAFE_RETURN_NOT_OK(forest.Fit(split.train.features, split.train.labels));
   const std::vector<double> importances = forest.FeatureImportances();

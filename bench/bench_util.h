@@ -46,6 +46,8 @@ struct BenchConfig {
   /// Worker threads for the concurrent evaluation runtime (1 = serial).
   /// ConfigFromFlags applies this to runtime::SetGlobalThreads.
   size_t threads = 1;
+  /// Tree split-finding backend for every RF/tree evaluation in the run.
+  ml::SplitStrategy split_strategy = ml::SplitStrategy::kHistogram;
 
   ml::EvaluatorOptions EvaluatorOptions() const;
   afe::SearchOptions SearchOptions() const;

@@ -1,0 +1,192 @@
+// Micro-benchmark for the tree split-finding backends: single-thread
+// DecisionTree fit time and training score, exact vs histogram, over a
+// grid of (rows, features) shapes for both task types. Emits one JSON
+// line per configuration:
+//
+//   {"task": "classification", "rows": 10000, "features": 25,
+//    "strategy": "histogram", "fit_seconds": ..., "score": ...,
+//    "speedup_vs_exact": ...}
+//
+// The interesting column is speedup_vs_exact at rows >= 10k — the
+// evaluation hot path's regime — where histogram split finding should be
+// several times faster while scoring within tolerance of exact.
+//
+// `--smoke` runs one fixed shape and exits nonzero unless the histogram
+// backend is faster and its training score is close to exact's; tools/
+// check.sh uses it as a Release-mode regression gate.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+#include "core/flags.h"
+#include "core/rng.h"
+#include "core/stopwatch.h"
+#include "data/dataframe.h"
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+
+namespace eafe::bench {
+namespace {
+
+/// Synthetic table with continuous (all-distinct) columns so the exact
+/// backend pays full per-node sorting cost: half the columns drive the
+/// label, half are noise.
+data::Dataset MakeTable(data::TaskType task, size_t rows, size_t features,
+                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> columns(features,
+                                           std::vector<double>(rows));
+  std::vector<double> labels(rows);
+  const size_t informative = std::max<size_t>(features / 2, 1);
+  for (size_t i = 0; i < rows; ++i) {
+    double signal = 0.0;
+    for (size_t f = 0; f < features; ++f) {
+      columns[f][i] = rng.Normal();
+      if (f < informative) {
+        signal += (f % 2 == 0 ? 1.0 : -0.5) * columns[f][i];
+      }
+    }
+    labels[i] = task == data::TaskType::kClassification
+                    ? (signal > 0.0 ? 1.0 : 0.0)
+                    : signal + rng.Normal(0.0, 0.1);
+  }
+  data::Dataset dataset;
+  dataset.task = task;
+  dataset.labels = std::move(labels);
+  for (size_t f = 0; f < features; ++f) {
+    const Status added = dataset.features.AddColumn(
+        data::Column("f" + std::to_string(f), std::move(columns[f])));
+    EAFE_CHECK_MSG(added.ok(), added.ToString().c_str());
+  }
+  return dataset;
+}
+
+struct FitResult {
+  double seconds = 0.0;
+  double score = 0.0;
+};
+
+/// Best-of-`reps` single-thread fit; score is on the training table
+/// (F1-style accuracy / 1-RAE), which is what the two backends should
+/// agree on.
+FitResult TimeFit(const data::Dataset& dataset, ml::SplitStrategy strategy,
+                  size_t reps) {
+  ml::DecisionTree::Options options;
+  options.task = dataset.task;
+  options.split_strategy = strategy;
+  FitResult result;
+  for (size_t r = 0; r < reps; ++r) {
+    ml::DecisionTree tree(options);
+    Stopwatch timer;
+    const Status fitted = tree.Fit(dataset.features, dataset.labels);
+    const double seconds = timer.ElapsedSeconds();
+    EAFE_CHECK_MSG(fitted.ok(), fitted.ToString().c_str());
+    if (r == 0 || seconds < result.seconds) result.seconds = seconds;
+    if (r == 0) {
+      auto predicted = tree.Predict(dataset.features);
+      EAFE_CHECK(predicted.ok());
+      result.score = ml::TaskScore(dataset.task, dataset.labels,
+                                   predicted.ValueOrDie());
+    }
+  }
+  return result;
+}
+
+void PrintLine(const data::Dataset& dataset, size_t features,
+               ml::SplitStrategy strategy, const FitResult& result,
+               double exact_seconds) {
+  std::printf(
+      "{\"task\": \"%s\", \"rows\": %zu, \"features\": %zu, "
+      "\"strategy\": \"%s\", \"fit_seconds\": %.6f, \"score\": %.4f, "
+      "\"speedup_vs_exact\": %.2f}\n",
+      dataset.task == data::TaskType::kClassification ? "classification"
+                                                      : "regression",
+      dataset.features.num_rows(), features,
+      ml::SplitStrategyToString(strategy).c_str(), result.seconds,
+      result.score,
+      result.seconds > 0.0 ? exact_seconds / result.seconds : 0.0);
+}
+
+int RunGrid(bool full, uint64_t seed) {
+  struct Shape {
+    size_t rows;
+    size_t features;
+  };
+  std::vector<Shape> shapes = {{1000, 10}, {10000, 10}, {10000, 25}};
+  if (full) shapes.push_back({50000, 25});
+  for (data::TaskType task : {data::TaskType::kClassification,
+                              data::TaskType::kRegression}) {
+    for (const Shape& shape : shapes) {
+      const data::Dataset dataset =
+          MakeTable(task, shape.rows, shape.features, seed);
+      const size_t reps = shape.rows <= 1000 ? 3 : 2;
+      const FitResult exact =
+          TimeFit(dataset, ml::SplitStrategy::kExact, reps);
+      const FitResult histogram =
+          TimeFit(dataset, ml::SplitStrategy::kHistogram, reps);
+      PrintLine(dataset, shape.features, ml::SplitStrategy::kExact, exact,
+                exact.seconds);
+      PrintLine(dataset, shape.features, ml::SplitStrategy::kHistogram,
+                histogram, exact.seconds);
+    }
+  }
+  return 0;
+}
+
+/// Fixed-shape regression gate: histogram must be meaningfully faster
+/// than exact (the acceptance target is >= 3x; the gate asserts a
+/// conservative 1.5x so shared CI hardware doesn't flake) and must score
+/// within 0.02 of it on the training table.
+int RunSmoke(uint64_t seed) {
+  const data::Dataset dataset =
+      MakeTable(data::TaskType::kClassification, 16384, 16, seed);
+  const FitResult exact = TimeFit(dataset, ml::SplitStrategy::kExact, 2);
+  const FitResult histogram =
+      TimeFit(dataset, ml::SplitStrategy::kHistogram, 2);
+  PrintLine(dataset, 16, ml::SplitStrategy::kExact, exact, exact.seconds);
+  PrintLine(dataset, 16, ml::SplitStrategy::kHistogram, histogram,
+            exact.seconds);
+  const double speedup =
+      histogram.seconds > 0.0 ? exact.seconds / histogram.seconds : 0.0;
+  if (speedup < 1.5) {
+    std::fprintf(stderr, "smoke FAILED: histogram speedup %.2fx < 1.5x\n",
+                 speedup);
+    return 1;
+  }
+  if (std::fabs(histogram.score - exact.score) > 0.02) {
+    std::fprintf(stderr,
+                 "smoke FAILED: |histogram score %.4f - exact score %.4f| "
+                 "> 0.02\n",
+                 histogram.score, exact.score);
+    return 1;
+  }
+  std::fprintf(stderr, "smoke OK: %.2fx speedup, score delta %.4f\n",
+               speedup, std::fabs(histogram.score - exact.score));
+  return 0;
+}
+
+}  // namespace
+}  // namespace eafe::bench
+
+int main(int argc, char** argv) {
+  eafe::FlagParser flags;
+  flags.AddBool("smoke", false,
+                "single fixed shape; nonzero exit unless histogram is "
+                "faster and scores within tolerance")
+      .AddBool("full", false, "add a 50k-row shape to the grid")
+      .AddInt("seed", 7, "random seed");
+  const eafe::Status parsed = flags.Parse(argc, argv);
+  if (parsed.code() == eafe::StatusCode::kNotFound) return 0;  // --help.
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  if (flags.GetBool("smoke")) return eafe::bench::RunSmoke(seed);
+  return eafe::bench::RunGrid(flags.GetBool("full"), seed);
+}

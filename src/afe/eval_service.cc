@@ -43,6 +43,8 @@ uint64_t EvaluationSignature(const data::Dataset& dataset,
   digest = hashing::MixHash(digest, position++, options.seed);
   digest = hashing::MixHash(digest, position++, options.rf_trees);
   digest = hashing::MixHash(digest, position++, options.rf_max_depth);
+  digest = hashing::MixHash(digest, position++,
+                            static_cast<uint64_t>(options.split_strategy));
   digest = hashing::MixHash(digest, position++, options.nn_epochs);
   digest = hashing::MixHash(digest, position++, options.linear_epochs);
   digest = hashing::MixHash(digest, position++,

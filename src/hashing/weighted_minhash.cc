@@ -30,14 +30,16 @@ double Gamma21(uint64_t seed, size_t slot, size_t element, uint64_t s1,
   return -std::log(u1 * u2);
 }
 
-/// Ioffe's ICWS sampling value for one element; smaller wins.
-/// Writes the quantization index to *t_out.
-double IcwsValue(double weight, uint64_t seed, size_t slot, size_t element,
-                 int64_t* t_out) {
+/// Ioffe's ICWS sampling value for one element; smaller wins. Takes the
+/// precomputed log(weight) — the per-element constant is hoisted out of
+/// the d-slot loop by the callers. Writes the quantization index to
+/// *t_out.
+double IcwsValue(double log_weight, uint64_t seed, size_t slot,
+                 size_t element, int64_t* t_out) {
   const double r = Gamma21(seed, slot, element, kStreamR1, kStreamR2);
   const double c = Gamma21(seed, slot, element, kStreamC1, kStreamC2);
   const double beta = MixUniform(seed, slot, element, kStreamBeta);
-  const double t = std::floor(std::log(weight) / r + beta);
+  const double t = std::floor(log_weight / r + beta);
   const double ln_y = r * (t - beta);
   const double ln_a = std::log(c) - ln_y - r;
   *t_out = static_cast<int64_t>(t);
@@ -45,13 +47,13 @@ double IcwsValue(double weight, uint64_t seed, size_t slot, size_t element,
 }
 
 /// PCWS: like ICWS but the numerator gamma is replaced by -ln(u), u
-/// uniform — cheaper per element (Wu et al., 2017).
-double PcwsValue(double weight, uint64_t seed, size_t slot, size_t element,
-                 int64_t* t_out) {
+/// uniform — cheaper per element (Wu et al., 2017). Takes log(weight).
+double PcwsValue(double log_weight, uint64_t seed, size_t slot,
+                 size_t element, int64_t* t_out) {
   const double r = Gamma21(seed, slot, element, kStreamR1, kStreamR2);
   const double u = MixUniform(seed, slot, element, kStreamU);
   const double beta = MixUniform(seed, slot, element, kStreamBeta);
-  const double t = std::floor(std::log(weight) / r + beta);
+  const double t = std::floor(log_weight / r + beta);
   const double ln_y = r * (t - beta);
   const double ln_a = std::log(-std::log(u)) - ln_y - r;
   *t_out = static_cast<int64_t>(t);
@@ -143,12 +145,32 @@ std::vector<size_t> ExactQuantileSelect(const std::vector<double>& weights,
 
 }  // namespace
 
-CwsSample ConsistentSample(MinHashScheme scheme,
-                           const std::vector<double>& weights, size_t slot,
-                           uint64_t seed) {
-  EAFE_CHECK(!weights.empty());
-  EAFE_CHECK(scheme != MinHashScheme::kPlain);
-  EAFE_CHECK(scheme != MinHashScheme::kExactQuantile);
+namespace {
+
+/// True for the schemes whose sampling value quantizes log(weight); those
+/// share a per-element log that is hoisted out of the d-slot loop.
+bool UsesLogWeights(MinHashScheme scheme) {
+  return scheme == MinHashScheme::kIcws ||
+         scheme == MinHashScheme::kPcws || scheme == MinHashScheme::kLicws;
+}
+
+/// log(w) per element (0 placeholder for non-positive weights, which are
+/// skipped during sampling). Computed once per feature, not once per
+/// (element, hash function).
+std::vector<double> LogWeights(const std::vector<double>& weights) {
+  std::vector<double> logs(weights.size(), 0.0);
+  for (size_t k = 0; k < weights.size(); ++k) {
+    if (weights[k] > 0.0) logs[k] = std::log(weights[k]);
+  }
+  return logs;
+}
+
+/// One consistent sample with the per-element constants precomputed.
+/// `log_weights` may be empty for schemes that do not use it (CCWS).
+CwsSample ConsistentSampleImpl(MinHashScheme scheme,
+                               const std::vector<double>& weights,
+                               const std::vector<double>& log_weights,
+                               size_t slot, uint64_t seed) {
   CwsSample best;
   double best_value = std::numeric_limits<double>::infinity();
   bool any = false;
@@ -160,10 +182,10 @@ CwsSample ConsistentSample(MinHashScheme scheme,
     double value;
     switch (scheme) {
       case MinHashScheme::kIcws:
-        value = IcwsValue(w, seed, slot, k, &t);
+        value = IcwsValue(log_weights[k], seed, slot, k, &t);
         break;
       case MinHashScheme::kPcws:
-        value = PcwsValue(w, seed, slot, k, &t);
+        value = PcwsValue(log_weights[k], seed, slot, k, &t);
         break;
       case MinHashScheme::kCcws:
         value = CcwsValue(w, seed, slot, k, &t);
@@ -171,7 +193,7 @@ CwsSample ConsistentSample(MinHashScheme scheme,
       case MinHashScheme::kLicws:
         // 0-bit CWS: ICWS sampling with the quantization index discarded
         // from the signature.
-        value = IcwsValue(w, seed, slot, k, &t);
+        value = IcwsValue(log_weights[k], seed, slot, k, &t);
         t = 0;
         break;
       default:
@@ -187,6 +209,19 @@ CwsSample ConsistentSample(MinHashScheme scheme,
   }
   EAFE_CHECK_MSG(any, "ConsistentSample needs a positive weight");
   return best;
+}
+
+}  // namespace
+
+CwsSample ConsistentSample(MinHashScheme scheme,
+                           const std::vector<double>& weights, size_t slot,
+                           uint64_t seed) {
+  EAFE_CHECK(!weights.empty());
+  EAFE_CHECK(scheme != MinHashScheme::kPlain);
+  EAFE_CHECK(scheme != MinHashScheme::kExactQuantile);
+  const std::vector<double> log_weights =
+      UsesLogWeights(scheme) ? LogWeights(weights) : std::vector<double>();
+  return ConsistentSampleImpl(scheme, weights, log_weights, slot, seed);
 }
 
 std::vector<size_t> WeightedMinHashSelect(MinHashScheme scheme,
@@ -224,8 +259,14 @@ std::vector<size_t> WeightedMinHashSelect(MinHashScheme scheme,
     }
     return selected;
   }
+  // Hoist the per-element derived constants (log(weight) for the
+  // log-quantizing schemes) out of the per-slot loop: they are identical
+  // for all d hash functions.
+  const std::vector<double> log_weights =
+      UsesLogWeights(scheme) ? LogWeights(weights) : std::vector<double>();
   for (size_t j = 0; j < num_slots; ++j) {
-    selected[j] = ConsistentSample(scheme, weights, j, seed).element;
+    selected[j] =
+        ConsistentSampleImpl(scheme, weights, log_weights, j, seed).element;
   }
   return selected;
 }

@@ -2,21 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <numeric>
+#include <utility>
 
 #include "core/check.h"
 #include "core/string_util.h"
+#include "ml/feature_binner.h"
+#include "ml/histogram_builder.h"
 
 namespace eafe::ml {
 namespace {
 
-/// Gini impurity from class counts.
-double Gini(const std::map<int, size_t>& counts, size_t total) {
+/// Gini impurity from flat per-class counts.
+double Gini(const std::vector<size_t>& counts, size_t total) {
   if (total == 0) return 0.0;
   double sum_sq = 0.0;
-  for (const auto& [cls, count] : counts) {
-    (void)cls;
+  for (size_t count : counts) {
     const double p = static_cast<double>(count) / static_cast<double>(total);
     sum_sq += p * p;
   }
@@ -24,6 +25,25 @@ double Gini(const std::map<int, size_t>& counts, size_t total) {
 }
 
 }  // namespace
+
+std::string SplitStrategyToString(SplitStrategy strategy) {
+  switch (strategy) {
+    case SplitStrategy::kExact:
+      return "exact";
+    case SplitStrategy::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+Result<SplitStrategy> SplitStrategyFromString(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "exact") return SplitStrategy::kExact;
+  if (lower == "histogram" || lower == "hist") {
+    return SplitStrategy::kHistogram;
+  }
+  return Status::InvalidArgument("unknown split strategy: " + name);
+}
 
 DecisionTree::DecisionTree(const Options& options) : options_(options) {}
 
@@ -43,6 +63,10 @@ Status DecisionTree::Fit(const data::DataFrame& x,
   if (options_.task == data::TaskType::kClassification) {
     int max_class = 0;
     for (double label : y) {
+      if (label < 0.0) {
+        return Status::InvalidArgument(
+            "classification labels must be nonnegative class ids");
+      }
       max_class = std::max(max_class, static_cast<int>(label));
     }
     num_classes_ = max_class + 1;
@@ -50,26 +74,41 @@ Status DecisionTree::Fit(const data::DataFrame& x,
   std::vector<size_t> indices(y.size());
   std::iota(indices.begin(), indices.end(), size_t{0});
   Rng rng(options_.seed);
-  BuildNode(x, y, indices, 0, &rng);
+
+  if (options_.split_strategy == SplitStrategy::kHistogram) {
+    FeatureBinner::Options binner_options;
+    binner_options.max_bins = options_.max_bins;
+    FeatureBinner binner(binner_options);
+    EAFE_RETURN_NOT_OK(binner.Fit(x));
+    HistogramBuilder builder(&binner, options_.task, num_classes_, &y);
+    Histogram root;
+    builder.Build(indices, &root);
+    BuildNodeHistogram(binner, builder, y, indices, std::move(root), 0,
+                       &rng);
+    hist_pool_.clear();
+    hist_pool_.shrink_to_fit();
+  } else {
+    BuildNode(x, y, indices, 0, &rng);
+  }
   return Status::OK();
 }
 
-DecisionTree::Node DecisionTree::MakeLeaf(
-    const std::vector<double>& y, const std::vector<size_t>& indices) const {
+DecisionTree::Node DecisionTree::MakeLeaf(const std::vector<double>& y,
+                                          const std::vector<size_t>& indices) {
   Node leaf;
   if (options_.task == data::TaskType::kClassification) {
-    std::map<int, size_t> counts;
+    leaf_counts_.assign(static_cast<size_t>(num_classes_), 0);
     size_t positives = 0;
     for (size_t i : indices) {
       const int cls = static_cast<int>(y[i]);
-      ++counts[cls];
+      ++leaf_counts_[static_cast<size_t>(cls)];
       if (cls == 1) ++positives;
     }
     size_t best_count = 0;
-    int best_class = 0;
-    for (const auto& [cls, count] : counts) {
-      if (count > best_count) {
-        best_count = count;
+    size_t best_class = 0;
+    for (size_t cls = 0; cls < leaf_counts_.size(); ++cls) {
+      if (leaf_counts_[cls] > best_count) {
+        best_count = leaf_counts_[cls];
         best_class = cls;
       }
     }
@@ -89,6 +128,16 @@ DecisionTree::Node DecisionTree::MakeLeaf(
   return leaf;
 }
 
+std::vector<size_t> DecisionTree::SampleFeatures(Rng* rng) const {
+  if (options_.max_features > 0 && options_.max_features < num_features_) {
+    return rng->SampleWithoutReplacement(num_features_,
+                                         options_.max_features);
+  }
+  std::vector<size_t> features(num_features_);
+  std::iota(features.begin(), features.end(), size_t{0});
+  return features;
+}
+
 DecisionTree::SplitResult DecisionTree::FindBestSplit(
     const data::DataFrame& x, const std::vector<double>& y,
     const std::vector<size_t>& indices, Rng* rng) {
@@ -100,10 +149,12 @@ DecisionTree::SplitResult DecisionTree::FindBestSplit(
   // Parent impurity.
   double parent_impurity;
   double sum_y = 0.0, sum_y2 = 0.0;
-  std::map<int, size_t> parent_counts;
   if (classification) {
-    for (size_t i : indices) ++parent_counts[static_cast<int>(y[i])];
-    parent_impurity = Gini(parent_counts, n);
+    parent_counts_.assign(static_cast<size_t>(num_classes_), 0);
+    for (size_t i : indices) {
+      ++parent_counts_[static_cast<size_t>(static_cast<int>(y[i]))];
+    }
+    parent_impurity = Gini(parent_counts_, n);
   } else {
     for (size_t i : indices) {
       sum_y += y[i];
@@ -114,15 +165,7 @@ DecisionTree::SplitResult DecisionTree::FindBestSplit(
   }
   if (parent_impurity <= 1e-12) return best;  // Pure node.
 
-  // Candidate features (random subset when max_features is set).
-  std::vector<size_t> features;
-  if (options_.max_features > 0 && options_.max_features < num_features_) {
-    features = rng->SampleWithoutReplacement(num_features_,
-                                             options_.max_features);
-  } else {
-    features.resize(num_features_);
-    std::iota(features.begin(), features.end(), size_t{0});
-  }
+  const std::vector<size_t> features = SampleFeatures(rng);
 
   std::vector<std::pair<double, size_t>> sorted;  // (value, sample index)
   sorted.reserve(n);
@@ -134,13 +177,14 @@ DecisionTree::SplitResult DecisionTree::FindBestSplit(
     if (sorted.front().first == sorted.back().first) continue;  // Constant.
 
     if (classification) {
-      std::map<int, size_t> left_counts;
+      left_counts_.assign(static_cast<size_t>(num_classes_), 0);
+      right_counts_ = parent_counts_;
       size_t left_n = 0;
-      std::map<int, size_t> right_counts = parent_counts;
       for (size_t pos = 0; pos + 1 < n; ++pos) {
-        const int cls = static_cast<int>(y[sorted[pos].second]);
-        ++left_counts[cls];
-        --right_counts[cls];
+        const size_t cls =
+            static_cast<size_t>(static_cast<int>(y[sorted[pos].second]));
+        ++left_counts_[cls];
+        --right_counts_[cls];
         ++left_n;
         if (sorted[pos].first == sorted[pos + 1].first) continue;
         const size_t right_n = n - left_n;
@@ -149,8 +193,8 @@ DecisionTree::SplitResult DecisionTree::FindBestSplit(
           continue;
         }
         const double wl = static_cast<double>(left_n) / static_cast<double>(n);
-        const double impurity = wl * Gini(left_counts, left_n) +
-                                (1.0 - wl) * Gini(right_counts, right_n);
+        const double impurity = wl * Gini(left_counts_, left_n) +
+                                (1.0 - wl) * Gini(right_counts_, right_n);
         const double gain = parent_impurity - impurity;
         if (gain > best.gain) {
           best.gain = gain;
@@ -227,6 +271,104 @@ int DecisionTree::BuildNode(const data::DataFrame& x,
   const int right = BuildNode(x, y, right_idx, depth + 1, rng);
   nodes_[node_id].feature = split.feature;
   nodes_[node_id].threshold = split.threshold;
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+Histogram DecisionTree::AcquireHistogram() {
+  if (hist_pool_.empty()) return Histogram();
+  Histogram hist = std::move(hist_pool_.back());
+  hist_pool_.pop_back();
+  return hist;
+}
+
+void DecisionTree::ReleaseHistogram(Histogram&& hist) {
+  hist_pool_.push_back(std::move(hist));
+}
+
+int DecisionTree::BuildNodeHistogram(const FeatureBinner& binner,
+                                     const HistogramBuilder& builder,
+                                     const std::vector<double>& y,
+                                     std::vector<size_t>& indices,
+                                     Histogram&& hist, size_t depth,
+                                     Rng* rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(MakeLeaf(y, indices));
+  if (depth >= options_.max_depth ||
+      indices.size() < options_.min_samples_split) {
+    ReleaseHistogram(std::move(hist));
+    return node_id;
+  }
+  const double parent_impurity = builder.NodeImpurity(hist, indices.size());
+  if (parent_impurity <= 1e-12) {  // Pure node.
+    ReleaseHistogram(std::move(hist));
+    return node_id;
+  }
+
+  const std::vector<size_t> features = SampleFeatures(rng);
+  const HistogramBuilder::Split split =
+      builder.FindBestSplit(hist, features, indices.size(),
+                            options_.min_samples_leaf, parent_impurity);
+  if (split.feature < 0 || split.gain <= 1e-12) {
+    ReleaseHistogram(std::move(hist));
+    return node_id;
+  }
+
+  const size_t feature = static_cast<size_t>(split.feature);
+  const std::vector<uint8_t>& codes = binner.codes(feature);
+  const uint8_t split_bin = static_cast<uint8_t>(split.bin);
+  std::vector<size_t> left_idx, right_idx;
+  left_idx.reserve(indices.size());
+  right_idx.reserve(indices.size());
+  for (size_t i : indices) {
+    (codes[i] <= split_bin ? left_idx : right_idx).push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) {
+    ReleaseHistogram(std::move(hist));
+    return node_id;
+  }
+
+  importances_[feature] +=
+      split.gain * static_cast<double>(indices.size());
+  const double threshold =
+      binner.cut(feature, static_cast<size_t>(split.bin));
+
+  indices.clear();
+  indices.shrink_to_fit();
+
+  // Subtraction trick: accumulate only the smaller child's histogram from
+  // rows and derive the larger child as parent minus sibling (in place,
+  // so `hist` becomes the larger child's histogram). Subtracting walks
+  // the full flat array three times, though, so for nodes much smaller
+  // than the histogram itself rebuilding the larger child from its rows
+  // is the cheaper path. The choice depends only on node sizes, so fits
+  // stay reproducible across runs and thread counts.
+  const bool left_is_smaller = left_idx.size() <= right_idx.size();
+  const std::vector<size_t>& smaller_idx =
+      left_is_smaller ? left_idx : right_idx;
+  const std::vector<size_t>& larger_idx =
+      left_is_smaller ? right_idx : left_idx;
+  Histogram smaller = AcquireHistogram();
+  builder.Build(smaller_idx, &smaller);
+  if (larger_idx.size() * binner.num_features() <
+      2 * builder.total_size()) {
+    builder.Build(larger_idx, &hist);
+  } else {
+    builder.Subtract(hist, smaller, &hist);
+  }
+  Histogram left_hist =
+      left_is_smaller ? std::move(smaller) : std::move(hist);
+  Histogram right_hist =
+      left_is_smaller ? std::move(hist) : std::move(smaller);
+
+  const int left = BuildNodeHistogram(binner, builder, y, left_idx,
+                                      std::move(left_hist), depth + 1, rng);
+  const int right = BuildNodeHistogram(binner, builder, y, right_idx,
+                                       std::move(right_hist), depth + 1,
+                                       rng);
+  nodes_[node_id].feature = split.feature;
+  nodes_[node_id].threshold = threshold;
   nodes_[node_id].left = left;
   nodes_[node_id].right = right;
   return node_id;

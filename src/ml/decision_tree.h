@@ -2,14 +2,28 @@
 #define EAFE_ML_DECISION_TREE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/rng.h"
 #include "core/status.h"
 #include "data/dataframe.h"
+#include "ml/histogram_builder.h"
 #include "ml/model.h"
 
 namespace eafe::ml {
+
+/// How a tree searches for the best split at each node.
+///  - kExact: sort every candidate feature's values per node and scan all
+///    midpoints (O(F n log n) per node). Reference implementation.
+///  - kHistogram: quantize each column once per Fit (<= max_bins uint8
+///    bins) and scan bin boundaries per node (O(F bins)), rebuilding only
+///    the smaller child's histogram and deriving the larger by
+///    subtraction. LightGBM-style; the evaluation hot path's default.
+enum class SplitStrategy { kExact, kHistogram };
+
+std::string SplitStrategyToString(SplitStrategy strategy);
+Result<SplitStrategy> SplitStrategyFromString(const std::string& name);
 
 /// CART decision tree for classification (Gini) and regression (variance
 /// reduction), with numeric threshold splits. Supports per-split feature
@@ -24,6 +38,11 @@ class DecisionTree : public Model {
     /// Features considered per split; 0 means all.
     size_t max_features = 0;
     uint64_t seed = 1;
+    /// Split-finding backend. A standalone tree defaults to the exact
+    /// reference; RandomForest overrides to histogram.
+    SplitStrategy split_strategy = SplitStrategy::kExact;
+    /// Histogram strategy only: bins per feature (2..256).
+    size_t max_bins = 255;
   };
 
   DecisionTree() : DecisionTree(Options()) {}
@@ -65,11 +84,23 @@ class DecisionTree : public Model {
 
   int BuildNode(const data::DataFrame& x, const std::vector<double>& y,
                 std::vector<size_t>& indices, size_t depth, Rng* rng);
+  int BuildNodeHistogram(const FeatureBinner& binner,
+                         const HistogramBuilder& builder,
+                         const std::vector<double>& y,
+                         std::vector<size_t>& indices, Histogram&& hist,
+                         size_t depth, Rng* rng);
+  /// Histogram buffer free-list: at most O(depth) histograms are live at
+  /// once, so recycling keeps per-node allocation out of the hot path.
+  Histogram AcquireHistogram();
+  void ReleaseHistogram(Histogram&& hist);
   SplitResult FindBestSplit(const data::DataFrame& x,
                             const std::vector<double>& y,
                             const std::vector<size_t>& indices, Rng* rng);
+  /// Candidate features for one node (random subset when max_features is
+  /// set, all features otherwise).
+  std::vector<size_t> SampleFeatures(Rng* rng) const;
   Node MakeLeaf(const std::vector<double>& y,
-                const std::vector<size_t>& indices) const;
+                const std::vector<size_t>& indices);
   size_t TraverseToLeaf(const data::DataFrame& x, size_t row) const;
 
   Options options_;
@@ -77,6 +108,12 @@ class DecisionTree : public Model {
   std::vector<double> importances_;
   size_t num_features_ = 0;
   int num_classes_ = 0;
+  /// Flat per-class count buffers, reused across nodes (classification).
+  std::vector<size_t> leaf_counts_;
+  std::vector<size_t> parent_counts_;
+  std::vector<size_t> left_counts_;
+  std::vector<size_t> right_counts_;
+  std::vector<Histogram> hist_pool_;
 };
 
 }  // namespace eafe::ml

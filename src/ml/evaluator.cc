@@ -59,6 +59,7 @@ std::unique_ptr<Model> TaskEvaluator::CreateModel(data::TaskType task) const {
       rf.num_trees = options_.rf_trees;
       rf.max_depth = options_.rf_max_depth;
       rf.seed = options_.seed;
+      rf.split_strategy = options_.split_strategy;
       return std::make_unique<RandomForest>(rf);
     }
     case ModelKind::kDecisionTree: {
@@ -66,6 +67,7 @@ std::unique_ptr<Model> TaskEvaluator::CreateModel(data::TaskType task) const {
       tree.task = task;
       tree.max_depth = options_.rf_max_depth;
       tree.seed = options_.seed;
+      tree.split_strategy = options_.split_strategy;
       return std::make_unique<DecisionTree>(tree);
     }
     case ModelKind::kLogisticRegression: {

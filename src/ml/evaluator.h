@@ -8,6 +8,7 @@
 #include "core/status.h"
 #include "data/dataframe.h"
 #include "ml/cross_validation.h"
+#include "ml/decision_tree.h"
 #include "ml/model.h"
 
 namespace eafe::ml {
@@ -39,6 +40,9 @@ struct EvaluatorOptions {
   // Random forest / tree capacity.
   size_t rf_trees = 10;
   size_t rf_max_depth = 8;
+  /// Split-finding backend for the tree-based downstream models. The
+  /// histogram backend is the hot-path default; kExact is the reference.
+  SplitStrategy split_strategy = SplitStrategy::kHistogram;
   // Neural / linear model budgets.
   size_t nn_epochs = 40;
   size_t linear_epochs = 80;

@@ -1,0 +1,77 @@
+#ifndef EAFE_ML_HISTOGRAM_BUILDER_H_
+#define EAFE_ML_HISTOGRAM_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataframe.h"
+#include "ml/feature_binner.h"
+
+namespace eafe::ml {
+
+/// Per-node label statistics accumulated over every feature's bins, in one
+/// flat array. Classification stores per-class counts (num_classes doubles
+/// per bin); regression stores {count, sum_y, sum_y2} (3 doubles per bin).
+/// Doubles keep integer counts exact while making the parent-minus-sibling
+/// derivation a single element-wise subtraction.
+struct Histogram {
+  std::vector<double> data;    ///< Flat per-(feature, bin, stat) array.
+  std::vector<double> totals;  ///< Node totals (one entry_width group).
+};
+
+/// Builds and searches per-node histograms over a fitted FeatureBinner.
+/// Gains replicate the exact backend's definitions (Gini impurity /
+/// variance reduction, child-weighted) so the two strategies agree
+/// whenever the binning is lossless.
+class HistogramBuilder {
+ public:
+  /// `binner` and `y` must outlive the builder. For classification,
+  /// labels are cast to classes in [0, num_classes) once up front.
+  HistogramBuilder(const FeatureBinner* binner, data::TaskType task,
+                   int num_classes, const std::vector<double>* y);
+
+  /// Doubles per bin: num_classes (classification) or 3 (regression).
+  size_t entry_width() const { return entry_width_; }
+
+  /// Flat size of one histogram's data array (all features' bins).
+  size_t total_size() const { return total_size_; }
+
+  /// Accumulates the histogram of the rows in `indices` for every feature.
+  void Build(const std::vector<size_t>& indices, Histogram* out) const;
+
+  /// The subtraction trick: out = parent - sibling, so only the smaller
+  /// child of a split is accumulated from rows. `out` may alias `parent`.
+  void Subtract(const Histogram& parent, const Histogram& sibling,
+                Histogram* out) const;
+
+  /// Node impurity (Gini / variance) from a histogram's totals;
+  /// `node_size` is the number of rows the histogram was built from.
+  double NodeImpurity(const Histogram& hist, size_t node_size) const;
+
+  struct Split {
+    int feature = -1;
+    int bin = -1;  ///< Go left if code <= bin.
+    double gain = 0.0;
+  };
+
+  /// Best bin boundary over `features`. `parent_impurity` is
+  /// NodeImpurity(hist, node_size); boundaries leaving fewer than
+  /// `min_samples_leaf` rows on either side are skipped.
+  Split FindBestSplit(const Histogram& hist,
+                      const std::vector<size_t>& features, size_t node_size,
+                      size_t min_samples_leaf, double parent_impurity) const;
+
+ private:
+  const FeatureBinner* binner_;
+  data::TaskType task_;
+  int num_classes_;
+  const std::vector<double>* y_;
+  std::vector<int> classes_;      ///< Per-row class (classification only).
+  size_t entry_width_ = 0;
+  std::vector<size_t> offsets_;   ///< Per-feature offset into data.
+  size_t total_size_ = 0;
+};
+
+}  // namespace eafe::ml
+
+#endif  // EAFE_ML_HISTOGRAM_BUILDER_H_

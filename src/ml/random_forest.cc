@@ -77,6 +77,8 @@ Status RandomForest::Fit(const data::DataFrame& x,
           tree_options.min_samples_leaf = options_.min_samples_leaf;
           tree_options.max_features = max_features;
           tree_options.seed = plan.seed;
+          tree_options.split_strategy = options_.split_strategy;
+          tree_options.max_bins = options_.max_bins;
           DecisionTree tree(tree_options);
           statuses[t] = tree.Fit(xt, yt);
           if (statuses[t].ok()) trees_[t] = std::move(tree);

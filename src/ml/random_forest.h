@@ -25,6 +25,12 @@ class RandomForest : public Model {
     /// Bootstrap sample size as a fraction of the training set.
     double subsample = 1.0;
     uint64_t seed = 1;
+    /// Split-finding backend for every tree. The forest is the evaluation
+    /// hot path (k-fold CV per candidate feature), so it defaults to the
+    /// histogram backend; kExact keeps the reference behaviour.
+    SplitStrategy split_strategy = SplitStrategy::kHistogram;
+    /// Histogram strategy only: bins per feature (2..256).
+    size_t max_bins = 255;
   };
 
   RandomForest() : RandomForest(Options()) {}

@@ -145,6 +145,24 @@ TEST(RandomForestTest, FitIsIdenticalAcrossThreadCounts) {
   runtime::SetGlobalThreads(1);
 }
 
+TEST(RandomForestTest, FitIsIdenticalAcrossThreadCountsExactStrategy) {
+  // Same contract for the exact reference backend (the forest default is
+  // histogram, which the test above covers).
+  const data::Dataset dataset = MakeXor(200, 11);
+  RandomForest::Options options;
+  options.split_strategy = SplitStrategy::kExact;
+  runtime::SetGlobalThreads(1);
+  RandomForest serial(options);
+  ASSERT_TRUE(serial.Fit(dataset.features, dataset.labels).ok());
+  runtime::SetGlobalThreads(4);
+  RandomForest parallel(options);
+  ASSERT_TRUE(parallel.Fit(dataset.features, dataset.labels).ok());
+  EXPECT_EQ(serial.Predict(dataset.features).ValueOrDie(),
+            parallel.Predict(dataset.features).ValueOrDie());
+  EXPECT_EQ(serial.FeatureImportances(), parallel.FeatureImportances());
+  runtime::SetGlobalThreads(1);
+}
+
 TEST(RandomForestTest, ErrorsBeforeFitAndOnMismatch) {
   RandomForest forest;
   const data::Dataset dataset = MakeXor(50, 9);

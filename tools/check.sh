@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Repository check: full build + tests, then the concurrency-sensitive
-# tests (thread pool, score cache, eval service) again under
-# ThreadSanitizer. Run from anywhere; build trees live in the repo root.
+# Repository check: full build + tests, a Release-mode perf smoke for the
+# histogram tree backend, then the concurrency-sensitive tests (thread
+# pool, score cache, eval service) again under ThreadSanitizer. Run from
+# anywhere; build trees live in the repo root.
 #
 #   tools/check.sh            # full check
 #   tools/check.sh --no-tsan  # skip the sanitizer pass
@@ -16,6 +17,14 @@ echo "== build + ctest (${root}/build) =="
 cmake -B "${root}/build" -S "${root}" >/dev/null
 cmake --build "${root}/build" -j "${jobs}"
 ctest --test-dir "${root}/build" --output-on-failure -j "${jobs}"
+
+echo "== histogram tree perf smoke (${root}/build-release) =="
+# An explicit Release tree so the smoke gate measures optimized code even
+# when the default tree was configured with another build type.
+cmake -B "${root}/build-release" -S "${root}" \
+  -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${root}/build-release" -j "${jobs}" --target micro_tree
+"${root}/build-release/bench/micro_tree" --smoke
 
 if [[ "${run_tsan}" == 1 ]]; then
   echo "== runtime tests under ThreadSanitizer (${root}/build-tsan) =="

@@ -115,6 +115,8 @@ int Search(int argc, char** argv) {
       .AddInt("max-features", 48, "RF-importance pre-selection cap")
       .AddString("out", "", "write the engineered table to this CSV")
       .AddInt("seed", 17, "random seed")
+      .AddString("split-strategy", "histogram",
+                 "tree split backend: exact | histogram")
       .AddThreads();
   const Status parsed = flags.Parse(argc, argv);
   if (parsed.code() == StatusCode::kNotFound) return 0;
@@ -138,6 +140,10 @@ int Search(int argc, char** argv) {
   afe::SearchOptions search_options;
   search_options.epochs = static_cast<size_t>(flags.GetInt("epochs"));
   search_options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  auto search_strategy =
+      ml::SplitStrategyFromString(flags.GetString("split-strategy"));
+  if (!search_strategy.ok()) return Fail(search_strategy.status());
+  search_options.evaluator.split_strategy = search_strategy.ValueOrDie();
 
   std::unique_ptr<afe::FeatureSearch> search;
   fpe::FpeModel model;
@@ -201,6 +207,8 @@ int Evaluate(int argc, char** argv) {
       .AddString("downstream", "rf", "rf|tree|logreg|svm|nb_gp|mlp|resnet")
       .AddInt("folds", 5, "cross-validation folds")
       .AddInt("seed", 17, "random seed")
+      .AddString("split-strategy", "histogram",
+                 "tree split backend: exact | histogram")
       .AddThreads();
   const Status parsed = flags.Parse(argc, argv);
   if (parsed.code() == StatusCode::kNotFound) return 0;
@@ -216,6 +224,10 @@ int Evaluate(int argc, char** argv) {
   options.model = *kind;
   options.cv_folds = static_cast<size_t>(flags.GetInt("folds"));
   options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  auto strategy =
+      ml::SplitStrategyFromString(flags.GetString("split-strategy"));
+  if (!strategy.ok()) return Fail(strategy.status());
+  options.split_strategy = strategy.ValueOrDie();
   ml::TaskEvaluator evaluator(options);
   auto score = evaluator.Score(*dataset);
   if (!score.ok()) return Fail(score.status());
