@@ -45,6 +45,7 @@ uint64_t EvaluationSignature(const data::Dataset& dataset,
   digest = hashing::MixHash(digest, position++, options.rf_max_depth);
   digest = hashing::MixHash(digest, position++,
                             static_cast<uint64_t>(options.split_strategy));
+  digest = hashing::MixHash(digest, position++, options.max_bins);
   digest = hashing::MixHash(digest, position++, options.nn_epochs);
   digest = hashing::MixHash(digest, position++, options.linear_epochs);
   digest = hashing::MixHash(digest, position++,

@@ -1,5 +1,6 @@
 #include "data/dataframe.h"
 
+#include <atomic>
 #include <cmath>
 #include <unordered_set>
 
@@ -7,6 +8,19 @@
 #include "core/string_util.h"
 
 namespace eafe::data {
+namespace {
+
+std::atomic<size_t> g_total_select_rows{0};
+
+}  // namespace
+
+size_t DataFrame::TotalSelectRows() {
+  return g_total_select_rows.load(std::memory_order_relaxed);
+}
+
+void DataFrame::ResetTotalSelectRows() {
+  g_total_select_rows.store(0, std::memory_order_relaxed);
+}
 
 const Column& DataFrame::column(size_t index) const {
   EAFE_CHECK_LT(index, columns_.size());
@@ -76,6 +90,7 @@ Status DataFrame::DropColumnByName(const std::string& name) {
 }
 
 DataFrame DataFrame::SelectRows(const std::vector<size_t>& row_indices) const {
+  g_total_select_rows.fetch_add(1, std::memory_order_relaxed);
   DataFrame out;
   for (const Column& c : columns_) {
     std::vector<double> values;

@@ -50,6 +50,13 @@ class DataFrame {
   /// doubles as bootstrap sampling). Indices must be < num_rows().
   DataFrame SelectRows(const std::vector<size_t>& row_indices) const;
 
+  /// Process-wide count of SelectRows materializations — test
+  /// instrumentation for the zero-copy forest/CV hot path (a shared-binner
+  /// fit must not bump this at all). Relaxed atomic; reset only between
+  /// test sections.
+  static size_t TotalSelectRows();
+  static void ResetTotalSelectRows();
+
   /// New frame containing only the given columns, in the given order.
   DataFrame SelectColumns(const std::vector<size_t>& column_indices) const;
 

@@ -1,9 +1,11 @@
 #include "ml/cross_validation.h"
 
 #include <map>
+#include <memory>
 
 #include "core/rng.h"
 #include "data/split.h"
+#include "ml/feature_binner.h"
 #include "ml/metrics.h"
 #include "runtime/thread_pool.h"
 
@@ -44,6 +46,26 @@ Result<std::vector<double>> CrossValidateScores(const ModelFactory& factory,
         folds, data::KFoldIndices(dataset.num_rows(), options.folds, &rng));
   }
 
+  // When the model can train through a shared pre-binned frame (probed
+  // via SharedBinnerModel), the frame is binned exactly once here, before
+  // the fold fan-out: every fold fits on a row-id view of the same codes
+  // and scores its held-out rows by id — no fold materialization, no
+  // per-fold re-binning. Models without the capability (or configurations
+  // that decline it, e.g. the exact split strategy) take the legacy
+  // materialized path below.
+  std::shared_ptr<const FeatureBinner> shared_binner;
+  {
+    std::unique_ptr<Model> probe = factory();
+    if (probe == nullptr) {
+      return Status::Internal("model factory returned null");
+    }
+    if (const auto* capable = dynamic_cast<const SharedBinnerModel*>(
+            probe.get())) {
+      EAFE_ASSIGN_OR_RETURN(shared_binner,
+                            capable->BinFrame(dataset.features));
+    }
+  }
+
   // Folds are independent given the (serially drawn) index partition, so
   // they fan out across the global pool: each fold writes only its own
   // slot and errors are reported in fold order, keeping results identical
@@ -53,16 +75,32 @@ Result<std::vector<double>> CrossValidateScores(const ModelFactory& factory,
   std::vector<double> scores(folds.size(), 0.0);
   std::vector<Status> statuses(folds.size());
   auto run_fold = [&](size_t i) -> Status {
-    const data::Dataset train = dataset.SelectRows(folds[i].train);
-    const data::Dataset test = dataset.SelectRows(folds[i].test);
     std::unique_ptr<Model> model = factory();
     if (model == nullptr) {
       return Status::Internal("model factory returned null");
     }
-    EAFE_RETURN_NOT_OK(model->Fit(train.features, train.labels));
-    EAFE_ASSIGN_OR_RETURN(std::vector<double> predicted,
-                          model->Predict(test.features));
-    scores[i] = TaskScore(dataset.task, test.labels, predicted);
+    SharedBinnerModel* shared =
+        shared_binner != nullptr ? dynamic_cast<SharedBinnerModel*>(model.get())
+                                 : nullptr;
+    std::vector<double> predicted;
+    std::vector<double> test_labels;
+    if (shared != nullptr) {
+      EAFE_RETURN_NOT_OK(
+          shared->FitBinned(shared_binner, dataset.labels, folds[i].train));
+      EAFE_ASSIGN_OR_RETURN(predicted,
+                            shared->PredictBinnedRows(folds[i].test));
+      test_labels.reserve(folds[i].test.size());
+      for (size_t row : folds[i].test) {
+        test_labels.push_back(dataset.labels[row]);
+      }
+    } else {
+      const data::Dataset train = dataset.SelectRows(folds[i].train);
+      const data::Dataset test = dataset.SelectRows(folds[i].test);
+      EAFE_RETURN_NOT_OK(model->Fit(train.features, train.labels));
+      EAFE_ASSIGN_OR_RETURN(predicted, model->Predict(test.features));
+      test_labels = test.labels;
+    }
+    scores[i] = TaskScore(dataset.task, test_labels, predicted);
     return Status::OK();
   };
   runtime::ParallelFor(runtime::GlobalPool(), folds.size(),

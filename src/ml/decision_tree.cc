@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 #include <utility>
 
@@ -57,7 +58,20 @@ Status DecisionTree::Fit(const data::DataFrame& x,
         StrFormat("rows (%zu) and labels (%zu) disagree or are empty",
                   x.num_rows(), y.size()));
   }
+  if (options_.split_strategy == SplitStrategy::kHistogram) {
+    // The standalone histogram fit is the degenerate shared case: bin the
+    // frame once and train on the all-rows view.
+    EAFE_ASSIGN_OR_RETURN(std::shared_ptr<const FeatureBinner> binner,
+                          BinFrame(x));
+    std::vector<size_t> rows(y.size());
+    std::iota(rows.begin(), rows.end(), size_t{0});
+    EAFE_ASSIGN_OR_RETURN(BinnedLabels labels,
+                          BinnedLabels::Create(options_.task, y));
+    return FitBinnedWithLabels(std::move(binner), y, std::move(rows),
+                               labels);
+  }
   nodes_.clear();
+  binner_.reset();
   num_features_ = x.num_columns();
   importances_.assign(num_features_, 0.0);
   if (options_.task == data::TaskType::kClassification) {
@@ -74,22 +88,71 @@ Status DecisionTree::Fit(const data::DataFrame& x,
   std::vector<size_t> indices(y.size());
   std::iota(indices.begin(), indices.end(), size_t{0});
   Rng rng(options_.seed);
+  BuildNode(x, y, indices, 0, &rng);
+  return Status::OK();
+}
 
-  if (options_.split_strategy == SplitStrategy::kHistogram) {
-    FeatureBinner::Options binner_options;
-    binner_options.max_bins = options_.max_bins;
-    FeatureBinner binner(binner_options);
-    EAFE_RETURN_NOT_OK(binner.Fit(x));
-    HistogramBuilder builder(&binner, options_.task, num_classes_, &y);
-    Histogram root;
-    builder.Build(indices, &root);
-    BuildNodeHistogram(binner, builder, y, indices, std::move(root), 0,
-                       &rng);
-    hist_pool_.clear();
-    hist_pool_.shrink_to_fit();
-  } else {
-    BuildNode(x, y, indices, 0, &rng);
+Result<std::shared_ptr<const FeatureBinner>> DecisionTree::BinFrame(
+    const data::DataFrame& x) const {
+  if (options_.split_strategy != SplitStrategy::kHistogram) {
+    return std::shared_ptr<const FeatureBinner>();  // Cannot share.
   }
+  FeatureBinner::Options binner_options;
+  binner_options.max_bins = options_.max_bins;
+  auto binner = std::make_shared<FeatureBinner>(binner_options);
+  EAFE_RETURN_NOT_OK(binner->Fit(x));
+  return std::shared_ptr<const FeatureBinner>(std::move(binner));
+}
+
+Status DecisionTree::FitBinned(std::shared_ptr<const FeatureBinner> binner,
+                               const std::vector<double>& y,
+                               const std::vector<size_t>& rows) {
+  EAFE_ASSIGN_OR_RETURN(BinnedLabels labels,
+                        BinnedLabels::Create(options_.task, y));
+  return FitBinnedWithLabels(std::move(binner), y,
+                             std::vector<size_t>(rows), labels);
+}
+
+Status DecisionTree::FitBinnedWithLabels(
+    std::shared_ptr<const FeatureBinner> binner,
+    const std::vector<double>& y, std::vector<size_t> rows,
+    const BinnedLabels& labels) {
+  if (options_.split_strategy != SplitStrategy::kHistogram) {
+    return Status::InvalidArgument(
+        "binned training requires the histogram split strategy");
+  }
+  if (binner == nullptr || !binner->fitted()) {
+    return Status::InvalidArgument("binner is null or not fitted");
+  }
+  if (binner->num_rows() != y.size() || y.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("binned frame rows (%zu) and labels (%zu) disagree or "
+                  "are empty",
+                  binner->num_rows(), y.size()));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("row view must be nonempty");
+  }
+  for (size_t row : rows) {
+    if (row >= y.size()) {
+      return Status::InvalidArgument(
+          StrFormat("row id %zu out of range (%zu frame rows)", row,
+                    y.size()));
+    }
+  }
+  nodes_.clear();
+  binner_ = std::move(binner);
+  num_features_ = binner_->num_features();
+  importances_.assign(num_features_, 0.0);
+  num_classes_ = labels.num_classes;
+
+  HistogramBuilder builder(binner_.get(), options_.task, &labels, &y);
+  Histogram root;
+  builder.Build(rows, &root);
+  Rng rng(options_.seed);
+  BuildNodeHistogram(*binner_, builder, y, rows, std::move(root), 0, &rng);
+  hist_pool_.clear();
+  hist_pool_.shrink_to_fit();
   return Status::OK();
 }
 
@@ -369,6 +432,7 @@ int DecisionTree::BuildNodeHistogram(const FeatureBinner& binner,
                                        rng);
   nodes_[node_id].feature = split.feature;
   nodes_[node_id].threshold = threshold;
+  nodes_[node_id].split_bin = split.bin;
   nodes_[node_id].left = left;
   nodes_[node_id].right = right;
   return node_id;
@@ -417,6 +481,80 @@ Result<std::vector<double>> DecisionTree::PredictProba(
   std::vector<double> out(x.num_rows());
   for (size_t r = 0; r < x.num_rows(); ++r) {
     out[r] = nodes_[TraverseToLeaf(x, r)].proba;
+  }
+  return out;
+}
+
+size_t DecisionTree::TraverseToLeafCoded(const EncodedFrame& codes,
+                                         size_t row) const {
+  size_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const Node& nd = nodes_[node];
+    node = static_cast<size_t>(
+        codes[static_cast<size_t>(nd.feature)][row] <= nd.split_bin
+            ? nd.left
+            : nd.right);
+  }
+  return node;
+}
+
+Status DecisionTree::CheckCodedPredict(size_t num_columns) const {
+  if (nodes_.empty()) {
+    return Status::FailedPrecondition("tree is not fitted");
+  }
+  if (binner_ == nullptr) {
+    return Status::FailedPrecondition(
+        "bin-coded prediction requires a histogram fit");
+  }
+  if (num_columns != num_features_) {
+    return Status::InvalidArgument(
+        StrFormat("tree fitted on %zu features, got %zu", num_features_,
+                  num_columns));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> DecisionTree::PredictCoded(
+    const EncodedFrame& codes, size_t num_rows) const {
+  EAFE_RETURN_NOT_OK(CheckCodedPredict(codes.size()));
+  std::vector<double> out(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) {
+    out[r] = nodes_[TraverseToLeafCoded(codes, r)].value;
+  }
+  return out;
+}
+
+Result<std::vector<double>> DecisionTree::PredictProbaCoded(
+    const EncodedFrame& codes, size_t num_rows) const {
+  EAFE_RETURN_NOT_OK(CheckCodedPredict(codes.size()));
+  std::vector<double> out(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) {
+    out[r] = nodes_[TraverseToLeafCoded(codes, r)].proba;
+  }
+  return out;
+}
+
+Result<std::vector<double>> DecisionTree::PredictBinnedRows(
+    const std::vector<size_t>& rows) const {
+  EAFE_RETURN_NOT_OK(CheckCodedPredict(num_features_));
+  std::vector<double> out(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const size_t row = rows[i];
+    if (row >= binner_->num_rows()) {
+      return Status::InvalidArgument(
+          StrFormat("row id %zu out of range (%zu frame rows)", row,
+                    binner_->num_rows()));
+    }
+    size_t node = 0;
+    while (nodes_[node].feature >= 0) {
+      const Node& nd = nodes_[node];
+      node = static_cast<size_t>(
+          binner_->code(static_cast<size_t>(nd.feature), row) <=
+                  nd.split_bin
+              ? nd.left
+              : nd.right);
+    }
+    out[i] = nodes_[node].value;
   }
   return out;
 }

@@ -2,6 +2,7 @@
 #define EAFE_ML_DECISION_TREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,7 +17,7 @@ namespace eafe::ml {
 /// How a tree searches for the best split at each node.
 ///  - kExact: sort every candidate feature's values per node and scan all
 ///    midpoints (O(F n log n) per node). Reference implementation.
-///  - kHistogram: quantize each column once per Fit (<= max_bins uint8
+///  - kHistogram: quantize each column once per frame (<= max_bins uint8
 ///    bins) and scan bin boundaries per node (O(F bins)), rebuilding only
 ///    the smaller child's histogram and deriving the larger by
 ///    subtraction. LightGBM-style; the evaluation hot path's default.
@@ -28,7 +29,15 @@ Result<SplitStrategy> SplitStrategyFromString(const std::string& name);
 /// CART decision tree for classification (Gini) and regression (variance
 /// reduction), with numeric threshold splits. Supports per-split feature
 /// subsampling so RandomForest can decorrelate its trees.
-class DecisionTree : public Model {
+///
+/// Histogram trees can train through a *shared* FeatureBinner: the frame
+/// is binned once, and each tree fit is a row-id view over the shared
+/// codes (FitBinned) — bootstrap and fold selection never materialize a
+/// sub-frame. Histogram splits record both the double threshold and the
+/// split bin, so prediction can route on uint8 code comparisons
+/// (PredictCoded / PredictBinnedRows) bit-identically to the raw-double
+/// Predict path.
+class DecisionTree : public Model, public SharedBinnerModel {
  public:
   struct Options {
     data::TaskType task = data::TaskType::kClassification;
@@ -53,6 +62,31 @@ class DecisionTree : public Model {
       const data::DataFrame& x) const override;
   data::TaskType task() const override { return options_.task; }
 
+  // SharedBinnerModel: train/predict through a shared pre-binned frame.
+  Result<std::shared_ptr<const FeatureBinner>> BinFrame(
+      const data::DataFrame& x) const override;
+  Status FitBinned(std::shared_ptr<const FeatureBinner> binner,
+                   const std::vector<double>& y,
+                   const std::vector<size_t>& rows) override;
+  Result<std::vector<double>> PredictBinnedRows(
+      const std::vector<size_t>& rows) const override;
+
+  /// Forest internals: FitBinned with the frame's class codes already
+  /// converted (one BinnedLabels per forest, not per tree). `rows` is
+  /// consumed by the build recursion, so callers move it in.
+  Status FitBinnedWithLabels(std::shared_ptr<const FeatureBinner> binner,
+                             const std::vector<double>& y,
+                             std::vector<size_t> rows,
+                             const BinnedLabels& labels);
+
+  /// Predicts through a pre-encoded query frame (FeatureBinner::Encode):
+  /// traversal compares uint8 codes against split bins, bit-identically
+  /// to Predict on the raw doubles. Histogram-fitted trees only.
+  Result<std::vector<double>> PredictCoded(const EncodedFrame& codes,
+                                           size_t num_rows) const;
+  Result<std::vector<double>> PredictProbaCoded(const EncodedFrame& codes,
+                                                size_t num_rows) const;
+
   /// For binary classification: fraction of class-1 training samples in
   /// the reached leaf.
   Result<std::vector<double>> PredictProba(const data::DataFrame& x) const;
@@ -63,6 +97,12 @@ class DecisionTree : public Model {
     return importances_;
   }
 
+  /// The shared binner a histogram fit trained through (null for exact
+  /// fits). Forests reuse it to encode query frames once.
+  const std::shared_ptr<const FeatureBinner>& binner() const {
+    return binner_;
+  }
+
   size_t node_count() const { return nodes_.size(); }
   bool fitted() const { return !nodes_.empty(); }
 
@@ -70,6 +110,7 @@ class DecisionTree : public Model {
   struct Node {
     int feature = -1;          ///< -1 marks a leaf.
     double threshold = 0.0;    ///< Go left if x[feature] <= threshold.
+    int split_bin = -1;        ///< Go left if code <= split_bin (histogram).
     int left = -1;
     int right = -1;
     double value = 0.0;        ///< Leaf prediction (majority class / mean).
@@ -102,12 +143,16 @@ class DecisionTree : public Model {
   Node MakeLeaf(const std::vector<double>& y,
                 const std::vector<size_t>& indices);
   size_t TraverseToLeaf(const data::DataFrame& x, size_t row) const;
+  size_t TraverseToLeafCoded(const EncodedFrame& codes, size_t row) const;
+  Status CheckCodedPredict(size_t num_columns) const;
 
   Options options_;
   std::vector<Node> nodes_;
   std::vector<double> importances_;
   size_t num_features_ = 0;
   int num_classes_ = 0;
+  /// Shared binner a histogram fit trained through; null after exact fits.
+  std::shared_ptr<const FeatureBinner> binner_;
   /// Flat per-class count buffers, reused across nodes (classification).
   std::vector<size_t> leaf_counts_;
   std::vector<size_t> parent_counts_;

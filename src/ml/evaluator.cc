@@ -60,6 +60,7 @@ std::unique_ptr<Model> TaskEvaluator::CreateModel(data::TaskType task) const {
       rf.max_depth = options_.rf_max_depth;
       rf.seed = options_.seed;
       rf.split_strategy = options_.split_strategy;
+      rf.max_bins = options_.max_bins;
       return std::make_unique<RandomForest>(rf);
     }
     case ModelKind::kDecisionTree: {
@@ -68,6 +69,7 @@ std::unique_ptr<Model> TaskEvaluator::CreateModel(data::TaskType task) const {
       tree.max_depth = options_.rf_max_depth;
       tree.seed = options_.seed;
       tree.split_strategy = options_.split_strategy;
+      tree.max_bins = options_.max_bins;
       return std::make_unique<DecisionTree>(tree);
     }
     case ModelKind::kLogisticRegression: {

@@ -43,6 +43,10 @@ struct EvaluatorOptions {
   /// Split-finding backend for the tree-based downstream models. The
   /// histogram backend is the hot-path default; kExact is the reference.
   SplitStrategy split_strategy = SplitStrategy::kHistogram;
+  /// Histogram backend only: bins per feature (2..256). With the
+  /// histogram RF, each evaluation bins the frame once and shares the
+  /// codes across all CV folds and forest trees.
+  size_t max_bins = 255;
   // Neural / linear model budgets.
   size_t nn_epochs = 40;
   size_t linear_epochs = 80;

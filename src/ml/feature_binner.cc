@@ -1,10 +1,25 @@
 #include "ml/feature_binner.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "core/string_util.h"
 
 namespace eafe::ml {
+namespace {
+
+std::atomic<size_t> g_total_fits{0};
+
+}  // namespace
+
+size_t FeatureBinner::TotalFits() {
+  return g_total_fits.load(std::memory_order_relaxed);
+}
+
+void FeatureBinner::ResetTotalFits() {
+  g_total_fits.store(0, std::memory_order_relaxed);
+}
+
 namespace {
 
 /// Cut points for one column from its (possibly subsampled) sorted values:
@@ -69,6 +84,7 @@ Status FeatureBinner::Fit(const data::DataFrame& x) {
         StrFormat("max_cut_samples (%zu) must be >= max_bins (%zu)",
                   options_.max_cut_samples, options_.max_bins));
   }
+  g_total_fits.fetch_add(1, std::memory_order_relaxed);
   const size_t n = x.num_rows();
   const size_t num_features = x.num_columns();
   cuts_.assign(num_features, {});
@@ -106,6 +122,33 @@ Status FeatureBinner::Fit(const data::DataFrame& x) {
     }
   }
   return Status::OK();
+}
+
+Result<EncodedFrame> FeatureBinner::Encode(const data::DataFrame& x) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("binner is not fitted");
+  }
+  if (x.num_columns() != num_features()) {
+    return Status::InvalidArgument(
+        StrFormat("binner fitted on %zu features, got %zu", num_features(),
+                  x.num_columns()));
+  }
+  const size_t n = x.num_rows();
+  EncodedFrame encoded(num_features());
+  for (size_t f = 0; f < num_features(); ++f) {
+    const std::vector<double>& values = x.column(f).values();
+    const std::vector<double>& cuts = cuts_[f];
+    std::vector<uint8_t>& codes = encoded[f];
+    codes.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t bin =
+          static_cast<size_t>(std::lower_bound(cuts.begin(), cuts.end(),
+                                               values[i]) -
+                              cuts.begin());
+      codes[i] = static_cast<uint8_t>(bin);
+    }
+  }
+  return encoded;
 }
 
 }  // namespace eafe::ml

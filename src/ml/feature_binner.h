@@ -9,10 +9,19 @@
 
 namespace eafe::ml {
 
+/// Column-major bin codes of a query frame produced by
+/// FeatureBinner::Encode — one uint8 vector per feature. Encoding a frame
+/// once lets every tree of a forest route predictions on uint8 code
+/// comparisons instead of re-reading raw doubles.
+using EncodedFrame = std::vector<std::vector<uint8_t>>;
+
 /// Quantizes every column of a DataFrame into at most `max_bins` ordinal
-/// bins (uint8 codes) once per tree fit, so split finding can scan bin
+/// bins (uint8 codes) once per *frame*, so split finding can scan bin
 /// boundaries (O(bins) per feature) instead of re-sorting raw values
-/// (O(n log n)) at every node.
+/// (O(n log n)) at every node. A fitted binner is immutable and safe to
+/// share across threads: a forest bins the frame once and every tree
+/// trains through row-id views of the same codes (bootstrap is pure row
+/// selection), instead of re-binning a materialized bootstrap copy.
 ///
 /// Cut points are midpoints between adjacent distinct values: when a
 /// column has <= max_bins distinct values the binning is lossless, and
@@ -38,6 +47,18 @@ class FeatureBinner {
 
   /// Computes per-column cut points and encodes every value.
   Status Fit(const data::DataFrame& x);
+
+  /// Encodes a query frame with the fitted cuts (transform only, no
+  /// refit). Uses the same lower_bound comparison as Fit, so for any
+  /// value v and split bin b, code(v) <= b exactly when v <= cut(b):
+  /// bin-coded tree traversal is bit-identical to the raw-double path.
+  Result<EncodedFrame> Encode(const data::DataFrame& x) const;
+
+  /// Process-wide count of Fit calls — test instrumentation for the
+  /// zero-per-tree-re-binning guarantee (a forest fit must bump this
+  /// exactly once). Relaxed atomic; reset only between test sections.
+  static size_t TotalFits();
+  static void ResetTotalFits();
 
   size_t num_features() const { return codes_.size(); }
   size_t num_rows() const { return codes_.empty() ? 0 : codes_[0].size(); }

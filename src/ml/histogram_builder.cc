@@ -1,6 +1,9 @@
 #include "ml/histogram_builder.h"
 
+#include <algorithm>
+
 #include "core/check.h"
+#include "runtime/thread_pool.h"
 
 namespace eafe::ml {
 namespace {
@@ -18,15 +21,38 @@ double GiniFromCounts(const double* counts, int num_classes, double total) {
 
 }  // namespace
 
+Result<BinnedLabels> BinnedLabels::Create(data::TaskType task,
+                                          const std::vector<double>& y) {
+  BinnedLabels labels;
+  if (task != data::TaskType::kClassification) return labels;
+  labels.classes.resize(y.size());
+  int max_class = 0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (y[i] < 0.0) {
+      return Status::InvalidArgument(
+          "classification labels must be nonnegative class ids");
+    }
+    labels.classes[i] = static_cast<int>(y[i]);
+    max_class = std::max(max_class, labels.classes[i]);
+  }
+  labels.num_classes = max_class + 1;
+  return labels;
+}
+
 HistogramBuilder::HistogramBuilder(const FeatureBinner* binner,
-                                   data::TaskType task, int num_classes,
+                                   data::TaskType task,
+                                   const BinnedLabels* labels,
                                    const std::vector<double>* y)
-    : binner_(binner), task_(task), num_classes_(num_classes), y_(y) {
+    : binner_(binner), task_(task), labels_(labels), y_(y) {
   EAFE_CHECK(binner_ != nullptr && binner_->fitted());
-  EAFE_CHECK(y_ != nullptr);
+  EAFE_CHECK(labels_ != nullptr && y_ != nullptr);
   const bool classification = task_ == data::TaskType::kClassification;
-  entry_width_ = classification ? static_cast<size_t>(num_classes_) : 3;
+  entry_width_ =
+      classification ? static_cast<size_t>(labels_->num_classes) : 3;
   EAFE_CHECK_GE(entry_width_, 1u);
+  if (classification) {
+    EAFE_CHECK_EQ(labels_->classes.size(), y_->size());
+  }
   offsets_.resize(binner_->num_features());
   size_t offset = 0;
   for (size_t f = 0; f < binner_->num_features(); ++f) {
@@ -34,38 +60,21 @@ HistogramBuilder::HistogramBuilder(const FeatureBinner* binner,
     offset += binner_->num_bins(f) * entry_width_;
   }
   total_size_ = offset;
-  if (classification) {
-    classes_.resize(y_->size());
-    for (size_t i = 0; i < y_->size(); ++i) {
-      classes_[i] = static_cast<int>((*y_)[i]);
-      EAFE_CHECK(classes_[i] >= 0 && classes_[i] < num_classes_);
-    }
-  }
 }
 
-void HistogramBuilder::Build(const std::vector<size_t>& indices,
-                             Histogram* out) const {
-  out->data.assign(total_size_, 0.0);
-  out->totals.assign(entry_width_, 0.0);
+void HistogramBuilder::BuildFeatures(const std::vector<size_t>& indices,
+                                     size_t begin, size_t end,
+                                     Histogram* out) const {
   const bool classification = task_ == data::TaskType::kClassification;
-  if (classification) {
-    for (size_t i : indices) out->totals[classes_[i]] += 1.0;
-  } else {
-    for (size_t i : indices) {
-      const double value = (*y_)[i];
-      out->totals[0] += 1.0;
-      out->totals[1] += value;
-      out->totals[2] += value * value;
-    }
-  }
-  for (size_t f = 0; f < binner_->num_features(); ++f) {
+  for (size_t f = begin; f < end; ++f) {
     if (binner_->num_bins(f) < 2) continue;  // Constant column: no splits.
     const std::vector<uint8_t>& codes = binner_->codes(f);
     double* h = out->data.data() + offsets_[f];
     if (classification) {
       const size_t width = entry_width_;
+      const std::vector<int>& classes = labels_->classes;
       for (size_t i : indices) {
-        h[codes[i] * width + static_cast<size_t>(classes_[i])] += 1.0;
+        h[codes[i] * width + static_cast<size_t>(classes[i])] += 1.0;
       }
     } else {
       for (size_t i : indices) {
@@ -76,6 +85,39 @@ void HistogramBuilder::Build(const std::vector<size_t>& indices,
         entry[2] += value * value;
       }
     }
+  }
+}
+
+void HistogramBuilder::Build(const std::vector<size_t>& indices,
+                             Histogram* out) const {
+  out->data.assign(total_size_, 0.0);
+  out->totals.assign(entry_width_, 0.0);
+  const bool classification = task_ == data::TaskType::kClassification;
+  if (classification) {
+    const std::vector<int>& classes = labels_->classes;
+    for (size_t i : indices) out->totals[classes[i]] += 1.0;
+  } else {
+    for (size_t i : indices) {
+      const double value = (*y_)[i];
+      out->totals[0] += 1.0;
+      out->totals[1] += value;
+      out->totals[2] += value * value;
+    }
+  }
+  const size_t num_features = binner_->num_features();
+  // Wide engineered frames accumulate feature-parallel: each block owns a
+  // disjoint slice of the flat array and walks `indices` in order, so the
+  // result is independent of the partition. Nested calls (a tree training
+  // on a pool worker) run inline via ParallelFor's own guard.
+  if (num_features >= kMinParallelFeatures &&
+      indices.size() >= kMinParallelRows) {
+    runtime::ParallelFor(
+        runtime::GlobalPool(), num_features, /*min_block=*/16,
+        [&](size_t begin, size_t end) {
+          BuildFeatures(indices, begin, end, out);
+        });
+  } else {
+    BuildFeatures(indices, 0, num_features, out);
   }
 }
 
@@ -99,7 +141,7 @@ double HistogramBuilder::NodeImpurity(const Histogram& hist,
                                       size_t node_size) const {
   const double n = static_cast<double>(node_size);
   if (task_ == data::TaskType::kClassification) {
-    return GiniFromCounts(hist.totals.data(), num_classes_, n);
+    return GiniFromCounts(hist.totals.data(), labels_->num_classes, n);
   }
   const double mean = hist.totals[1] / n;
   return hist.totals[2] / n - mean * mean;
@@ -162,7 +204,7 @@ HistogramBuilder::Split HistogramBuilder::FindBestSplit(
           gini_right = 1.0 - sum_sq;
         }
         const double gini_left =
-            GiniFromCounts(left.data(), num_classes_, left_n);
+            GiniFromCounts(left.data(), labels_->num_classes, left_n);
         impurity = wl * gini_left + (1.0 - wl) * gini_right;
       } else {
         const double right_sum = hist.totals[1] - left[1];

@@ -9,6 +9,18 @@
 
 namespace eafe::ml {
 
+/// Per-frame label codes shared across every tree trained on the frame:
+/// classification labels are validated and cast to class ids exactly once
+/// (per forest fit / per cross-validation run), instead of once per
+/// HistogramBuilder as before. Empty `classes` for regression.
+struct BinnedLabels {
+  std::vector<int> classes;  ///< Per-row class id (classification only).
+  int num_classes = 0;       ///< 0 for regression.
+
+  static Result<BinnedLabels> Create(data::TaskType task,
+                                     const std::vector<double>& y);
+};
+
 /// Per-node label statistics accumulated over every feature's bins, in one
 /// flat array. Classification stores per-class counts (num_classes doubles
 /// per bin); regression stores {count, sum_y, sum_y2} (3 doubles per bin).
@@ -23,12 +35,19 @@ struct Histogram {
 /// Gains replicate the exact backend's definitions (Gini impurity /
 /// variance reduction, child-weighted) so the two strategies agree
 /// whenever the binning is lossless.
+///
+/// Row indices are ids into the binner's frame and may repeat (bootstrap
+/// views); `y` and `labels` are indexed by the same ids. Wide frames build
+/// feature-parallel on the global runtime pool: per-feature ranges of the
+/// flat array are disjoint and each feature accumulates its rows serially
+/// in index order, so the result is bit-identical at any thread count
+/// (nested calls — e.g. from per-tree forest fan-out — run inline).
 class HistogramBuilder {
  public:
-  /// `binner` and `y` must outlive the builder. For classification,
-  /// labels are cast to classes in [0, num_classes) once up front.
+  /// `binner`, `labels`, and `y` must outlive the builder; `labels` holds
+  /// the frame's shared class codes (BinnedLabels::Create).
   HistogramBuilder(const FeatureBinner* binner, data::TaskType task,
-                   int num_classes, const std::vector<double>* y);
+                   const BinnedLabels* labels, const std::vector<double>* y);
 
   /// Doubles per bin: num_classes (classification) or 3 (regression).
   size_t entry_width() const { return entry_width_; }
@@ -62,11 +81,19 @@ class HistogramBuilder {
                       size_t min_samples_leaf, double parent_impurity) const;
 
  private:
+  /// Feature-count floor below which Build never fans out: narrow frames
+  /// finish faster serially than one queue round-trip costs.
+  static constexpr size_t kMinParallelFeatures = 64;
+  /// Node-size floor for fanning out; deep small nodes stay serial.
+  static constexpr size_t kMinParallelRows = 512;
+
+  void BuildFeatures(const std::vector<size_t>& indices, size_t begin,
+                     size_t end, Histogram* out) const;
+
   const FeatureBinner* binner_;
   data::TaskType task_;
-  int num_classes_;
+  const BinnedLabels* labels_;
   const std::vector<double>* y_;
-  std::vector<int> classes_;      ///< Per-row class (classification only).
   size_t entry_width_ = 0;
   std::vector<size_t> offsets_;   ///< Per-feature offset into data.
   size_t total_size_ = 0;

@@ -45,6 +45,37 @@ class ProbabilisticClassifier : public Model {
       const data::DataFrame& x) const = 0;
 };
 
+class FeatureBinner;  // Defined in ml/feature_binner.h.
+
+/// Capability interface for models that can train and predict through a
+/// shared pre-binned frame via row-id views — no fold or bootstrap
+/// materialization anywhere on the path. Cross-validation probes for it
+/// with dynamic_cast: when supported, the frame is binned exactly once
+/// per CV run and every fold (and every forest tree inside a fold)
+/// reuses the same immutable codes.
+class SharedBinnerModel {
+ public:
+  virtual ~SharedBinnerModel() = default;
+
+  /// Bins `x` for FitBinned sharing. Returns null (with OK status) when
+  /// this configuration cannot share — e.g. the exact split strategy —
+  /// and the caller should fall back to materialized Fit/Predict.
+  virtual Result<std::shared_ptr<const FeatureBinner>> BinFrame(
+      const data::DataFrame& x) const = 0;
+
+  /// Trains on the rows `rows` of the binned frame. `y` holds labels for
+  /// every frame row, indexed absolutely; `rows` may repeat (bootstrap is
+  /// pure row selection).
+  virtual Status FitBinned(std::shared_ptr<const FeatureBinner> binner,
+                           const std::vector<double>& y,
+                           const std::vector<size_t>& rows) = 0;
+
+  /// Predicts rows of the fitted binner's frame by id — held-out fold
+  /// rows are rows of the same frame, so CV scoring needs no encoding.
+  virtual Result<std::vector<double>> PredictBinnedRows(
+      const std::vector<size_t>& rows) const = 0;
+};
+
 using ModelFactory = std::function<std::unique_ptr<Model>()>;
 
 }  // namespace eafe::ml

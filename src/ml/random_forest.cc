@@ -2,63 +2,183 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <utility>
 
 #include "core/check.h"
 #include "core/string_util.h"
+#include "ml/feature_binner.h"
 #include "runtime/thread_pool.h"
 
 namespace eafe::ml {
+namespace {
+
+size_t ResolveMaxFeatures(const RandomForest::Options& options,
+                          size_t num_features) {
+  size_t max_features = options.max_features;
+  if (max_features == 0) {
+    max_features =
+        options.task == data::TaskType::kClassification
+            ? static_cast<size_t>(
+                  std::ceil(std::sqrt(static_cast<double>(num_features))))
+            : std::max<size_t>(num_features / 3, 1);
+  }
+  return std::min(max_features, num_features);
+}
+
+}  // namespace
 
 RandomForest::RandomForest(const Options& options) : options_(options) {}
 
-Status RandomForest::Fit(const data::DataFrame& x,
-                         const std::vector<double>& y) {
+DecisionTree::Options RandomForest::TreeOptions(uint64_t seed) const {
+  DecisionTree::Options tree_options;
+  tree_options.task = options_.task;
+  tree_options.max_depth = options_.max_depth;
+  tree_options.min_samples_leaf = options_.min_samples_leaf;
+  tree_options.max_features = max_features_;
+  tree_options.seed = seed;
+  tree_options.split_strategy = options_.split_strategy;
+  tree_options.max_bins = options_.max_bins;
+  return tree_options;
+}
+
+Result<std::vector<RandomForest::TreePlan>> RandomForest::DrawPlans(
+    const std::vector<size_t>* rows, size_t n) {
   if (options_.num_trees == 0) {
     return Status::InvalidArgument("num_trees must be positive");
-  }
-  if (x.num_rows() != y.size() || y.empty()) {
-    return Status::InvalidArgument("rows and labels disagree or are empty");
   }
   if (options_.subsample <= 0.0 || options_.subsample > 1.0) {
     return Status::InvalidArgument("subsample must be in (0, 1]");
   }
-  trees_.clear();
-  num_features_ = x.num_columns();
-
-  size_t max_features = options_.max_features;
-  if (max_features == 0) {
-    max_features =
-        options_.task == data::TaskType::kClassification
-            ? static_cast<size_t>(
-                  std::ceil(std::sqrt(static_cast<double>(num_features_))))
-            : std::max<size_t>(num_features_ / 3, 1);
-  }
-  max_features = std::min(max_features, num_features_);
-
-  Rng rng(options_.seed);
-  const size_t n = y.size();
+  const size_t pool = rows != nullptr ? rows->size() : n;
+  if (pool == 0) return Status::InvalidArgument("no training rows");
   const size_t sample_size = std::max<size_t>(
       1, static_cast<size_t>(std::round(options_.subsample *
-                                        static_cast<double>(n))));
+                                        static_cast<double>(pool))));
   // All randomness is drawn serially up front (bootstrap samples in tree
   // order, then each tree's seed), so the fit is bit-identical to the
   // serial path at any thread count; only the tree training itself fans
-  // out. When Fit already runs on a pool worker (a cross-validation fold),
-  // the trees train inline rather than oversubscribing.
-  struct TreePlan {
-    std::vector<size_t> sample;
-    uint64_t seed = 0;
-  };
+  // out. Samples hold absolute frame row ids: when training a row view (a
+  // CV fold), draws index into `rows` and map through it.
+  Rng rng(options_.seed);
   std::vector<TreePlan> plans(options_.num_trees);
   for (TreePlan& plan : plans) {
-    // Bootstrap sample (with replacement).
     plan.sample.resize(sample_size);
     for (size_t& s : plan.sample) {
-      s = rng.UniformInt(static_cast<uint64_t>(n));
+      const size_t draw = rng.UniformInt(static_cast<uint64_t>(pool));
+      s = rows != nullptr ? (*rows)[draw] : draw;
     }
     plan.seed = rng.Next();
   }
+  return plans;
+}
+
+Status RandomForest::Fit(const data::DataFrame& x,
+                         const std::vector<double>& y) {
+  if (x.num_rows() != y.size() || y.empty()) {
+    return Status::InvalidArgument("rows and labels disagree or are empty");
+  }
+  trees_.clear();
+  binner_.reset();
+  num_features_ = x.num_columns();
+  max_features_ = ResolveMaxFeatures(options_, num_features_);
+  if (options_.split_strategy == SplitStrategy::kHistogram &&
+      options_.share_binner) {
+    EAFE_ASSIGN_OR_RETURN(std::shared_ptr<const FeatureBinner> binner,
+                          BinFrame(x));
+    return FitShared(std::move(binner), y, /*rows=*/nullptr);
+  }
+  return FitMaterialized(x, y);
+}
+
+Result<std::shared_ptr<const FeatureBinner>> RandomForest::BinFrame(
+    const data::DataFrame& x) const {
+  if (options_.split_strategy != SplitStrategy::kHistogram ||
+      !options_.share_binner) {
+    return std::shared_ptr<const FeatureBinner>();  // Caller falls back.
+  }
+  FeatureBinner::Options binner_options;
+  binner_options.max_bins = options_.max_bins;
+  auto binner = std::make_shared<FeatureBinner>(binner_options);
+  EAFE_RETURN_NOT_OK(binner->Fit(x));
+  return std::shared_ptr<const FeatureBinner>(std::move(binner));
+}
+
+Status RandomForest::FitBinned(std::shared_ptr<const FeatureBinner> binner,
+                               const std::vector<double>& y,
+                               const std::vector<size_t>& rows) {
+  if (options_.split_strategy != SplitStrategy::kHistogram) {
+    return Status::InvalidArgument(
+        "FitBinned requires the histogram split strategy");
+  }
+  if (binner == nullptr || !binner->fitted()) {
+    return Status::InvalidArgument("FitBinned requires a fitted binner");
+  }
+  if (binner->num_rows() != y.size()) {
+    return Status::InvalidArgument(
+        StrFormat("binner holds %zu rows, labels hold %zu",
+                  binner->num_rows(), y.size()));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("FitBinned requires training rows");
+  }
+  for (size_t r : rows) {
+    if (r >= y.size()) {
+      return Status::InvalidArgument("training row id out of range");
+    }
+  }
+  trees_.clear();
+  binner_.reset();
+  num_features_ = binner->num_features();
+  max_features_ = ResolveMaxFeatures(options_, num_features_);
+  return FitShared(std::move(binner), y, &rows);
+}
+
+Status RandomForest::FitShared(std::shared_ptr<const FeatureBinner> binner,
+                               const std::vector<double>& y,
+                               const std::vector<size_t>* rows) {
+  EAFE_CHECK(binner != nullptr && binner->fitted());
+  EAFE_ASSIGN_OR_RETURN(std::vector<TreePlan> plans,
+                        DrawPlans(rows, y.size()));
+  EAFE_ASSIGN_OR_RETURN(BinnedLabels labels,
+                        BinnedLabels::Create(options_.task, y));
+
+  // Every tree trains through a row-id view of the shared frame codes:
+  // bootstrap is pure row selection, so nothing is materialized or
+  // re-binned per tree. When Fit already runs on a pool worker (a
+  // cross-validation fold), the trees train inline rather than
+  // oversubscribing.
+  trees_.resize(options_.num_trees);
+  std::vector<Status> statuses(options_.num_trees);
+  runtime::ParallelFor(
+      runtime::GlobalPool(), options_.num_trees,
+      [&](size_t begin, size_t end) {
+        for (size_t t = begin; t < end; ++t) {
+          DecisionTree tree(TreeOptions(plans[t].seed));
+          statuses[t] = tree.FitBinnedWithLabels(
+              binner, y, std::move(plans[t].sample), labels);
+          if (statuses[t].ok()) trees_[t] = std::move(tree);
+        }
+      });
+  for (const Status& status : statuses) {
+    if (!status.ok()) {
+      trees_.clear();
+      return status;
+    }
+  }
+  binner_ = std::move(binner);
+  num_classes_ = labels.num_classes;
+  return Status::OK();
+}
+
+Status RandomForest::FitMaterialized(const data::DataFrame& x,
+                                     const std::vector<double>& y) {
+  EAFE_ASSIGN_OR_RETURN(std::vector<TreePlan> plans,
+                        DrawPlans(/*rows=*/nullptr, y.size()));
+  // Validates labels and records the vote width for flat-count
+  // aggregation; the per-tree class conversion still happens inside
+  // DecisionTree::Fit on this reference path.
+  EAFE_ASSIGN_OR_RETURN(BinnedLabels labels,
+                        BinnedLabels::Create(options_.task, y));
 
   trees_.resize(options_.num_trees);
   std::vector<Status> statuses(options_.num_trees);
@@ -68,18 +188,11 @@ Status RandomForest::Fit(const data::DataFrame& x,
         for (size_t t = begin; t < end; ++t) {
           const TreePlan& plan = plans[t];
           data::DataFrame xt = x.SelectRows(plan.sample);
-          std::vector<double> yt(sample_size);
-          for (size_t i = 0; i < sample_size; ++i) yt[i] = y[plan.sample[i]];
-
-          DecisionTree::Options tree_options;
-          tree_options.task = options_.task;
-          tree_options.max_depth = options_.max_depth;
-          tree_options.min_samples_leaf = options_.min_samples_leaf;
-          tree_options.max_features = max_features;
-          tree_options.seed = plan.seed;
-          tree_options.split_strategy = options_.split_strategy;
-          tree_options.max_bins = options_.max_bins;
-          DecisionTree tree(tree_options);
+          std::vector<double> yt(plan.sample.size());
+          for (size_t i = 0; i < plan.sample.size(); ++i) {
+            yt[i] = y[plan.sample[i]];
+          }
+          DecisionTree tree(TreeOptions(plan.seed));
           statuses[t] = tree.Fit(xt, yt);
           if (statuses[t].ok()) trees_[t] = std::move(tree);
         }
@@ -90,7 +203,51 @@ Status RandomForest::Fit(const data::DataFrame& x,
       return status;
     }
   }
+  num_classes_ = labels.num_classes;
   return Status::OK();
+}
+
+Result<std::vector<double>> RandomForest::Aggregate(
+    size_t n, const std::function<Result<std::vector<double>>(
+                  const DecisionTree&)>& predict) const {
+  if (options_.task == data::TaskType::kRegression) {
+    std::vector<double> sum(n, 0.0);
+    for (const DecisionTree& tree : trees_) {
+      EAFE_ASSIGN_OR_RETURN(std::vector<double> pred, predict(tree));
+      for (size_t i = 0; i < n; ++i) sum[i] += pred[i];
+    }
+    for (double& v : sum) v /= static_cast<double>(trees_.size());
+    return sum;
+  }
+  // Majority vote over flat per-class counts (every class id seen in
+  // training is < num_classes_). Scanning classes in ascending order with
+  // a strict > keeps the lowest class on ties, matching the ordered-map
+  // aggregation this replaced.
+  EAFE_CHECK_GT(num_classes_, 0);
+  const size_t width = static_cast<size_t>(num_classes_);
+  std::vector<uint32_t> votes(n * width, 0);
+  for (const DecisionTree& tree : trees_) {
+    EAFE_ASSIGN_OR_RETURN(std::vector<double> pred, predict(tree));
+    for (size_t i = 0; i < n; ++i) {
+      const int cls = static_cast<int>(pred[i]);
+      EAFE_CHECK(cls >= 0 && cls < num_classes_);
+      ++votes[i * width + static_cast<size_t>(cls)];
+    }
+  }
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t* row = votes.data() + i * width;
+    uint32_t best_count = 0;
+    size_t best_class = 0;
+    for (size_t c = 0; c < width; ++c) {
+      if (row[c] > best_count) {
+        best_count = row[c];
+        best_class = c;
+      }
+    }
+    out[i] = static_cast<double>(best_class);
+  }
+  return out;
 }
 
 Result<std::vector<double>> RandomForest::Predict(
@@ -104,34 +261,30 @@ Result<std::vector<double>> RandomForest::Predict(
                   x.num_columns()));
   }
   const size_t n = x.num_rows();
-  if (options_.task == data::TaskType::kRegression) {
-    std::vector<double> sum(n, 0.0);
-    for (const DecisionTree& tree : trees_) {
-      EAFE_ASSIGN_OR_RETURN(std::vector<double> pred, tree.Predict(x));
-      for (size_t i = 0; i < n; ++i) sum[i] += pred[i];
-    }
-    for (double& v : sum) v /= static_cast<double>(trees_.size());
-    return sum;
+  if (binner_ != nullptr && options_.coded_predict) {
+    // Encode the query frame once; every tree then routes on uint8 bin
+    // comparisons, bit-identically to the raw-double traversal.
+    EAFE_ASSIGN_OR_RETURN(const EncodedFrame codes, binner_->Encode(x));
+    return Aggregate(n, [&](const DecisionTree& tree) {
+      return tree.PredictCoded(codes, n);
+    });
   }
-  // Majority vote.
-  std::vector<std::map<int, size_t>> votes(n);
-  for (const DecisionTree& tree : trees_) {
-    EAFE_ASSIGN_OR_RETURN(std::vector<double> pred, tree.Predict(x));
-    for (size_t i = 0; i < n; ++i) ++votes[i][static_cast<int>(pred[i])];
+  return Aggregate(n,
+                   [&](const DecisionTree& tree) { return tree.Predict(x); });
+}
+
+Result<std::vector<double>> RandomForest::PredictBinnedRows(
+    const std::vector<size_t>& rows) const {
+  if (trees_.empty()) {
+    return Status::FailedPrecondition("forest is not fitted");
   }
-  std::vector<double> out(n);
-  for (size_t i = 0; i < n; ++i) {
-    size_t best_count = 0;
-    int best_class = 0;
-    for (const auto& [cls, count] : votes[i]) {
-      if (count > best_count) {
-        best_count = count;
-        best_class = cls;
-      }
-    }
-    out[i] = static_cast<double>(best_class);
+  if (binner_ == nullptr) {
+    return Status::FailedPrecondition(
+        "PredictBinnedRows requires a shared-binner fit");
   }
-  return out;
+  return Aggregate(rows.size(), [&](const DecisionTree& tree) {
+    return tree.PredictBinnedRows(rows);
+  });
 }
 
 Result<std::vector<double>> RandomForest::PredictProba(
@@ -141,9 +294,18 @@ Result<std::vector<double>> RandomForest::PredictProba(
   }
   const size_t n = x.num_rows();
   std::vector<double> sum(n, 0.0);
-  for (const DecisionTree& tree : trees_) {
-    EAFE_ASSIGN_OR_RETURN(std::vector<double> proba, tree.PredictProba(x));
-    for (size_t i = 0; i < n; ++i) sum[i] += proba[i];
+  if (binner_ != nullptr && options_.coded_predict) {
+    EAFE_ASSIGN_OR_RETURN(const EncodedFrame codes, binner_->Encode(x));
+    for (const DecisionTree& tree : trees_) {
+      EAFE_ASSIGN_OR_RETURN(std::vector<double> proba,
+                            tree.PredictProbaCoded(codes, n));
+      for (size_t i = 0; i < n; ++i) sum[i] += proba[i];
+    }
+  } else {
+    for (const DecisionTree& tree : trees_) {
+      EAFE_ASSIGN_OR_RETURN(std::vector<double> proba, tree.PredictProba(x));
+      for (size_t i = 0; i < n; ++i) sum[i] += proba[i];
+    }
   }
   for (double& v : sum) v /= static_cast<double>(trees_.size());
   return sum;

@@ -1,6 +1,7 @@
 #ifndef EAFE_ML_RANDOM_FOREST_H_
 #define EAFE_ML_RANDOM_FOREST_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/rng.h"
@@ -12,7 +13,14 @@ namespace eafe::ml {
 /// Bagged random forest over CART trees — the paper's downstream task
 /// model (following NFS). Classification predicts by majority vote,
 /// regression by mean; PredictProba returns the vote fraction for class 1.
-class RandomForest : public Model {
+///
+/// With the histogram strategy (the default) the forest bins the frame
+/// exactly once and every tree trains through a row-id view of the shared
+/// codes: bootstrap is pure row selection, so there is no per-tree
+/// SelectRows materialization and no per-tree re-binning anywhere in a
+/// fit. Prediction encodes the query frame once and routes every tree on
+/// uint8 bin comparisons (bit-identical to the raw-double path).
+class RandomForest : public Model, public SharedBinnerModel {
  public:
   struct Options {
     data::TaskType task = data::TaskType::kClassification;
@@ -31,6 +39,17 @@ class RandomForest : public Model {
     SplitStrategy split_strategy = SplitStrategy::kHistogram;
     /// Histogram strategy only: bins per feature (2..256).
     size_t max_bins = 255;
+    /// Histogram strategy only: bin the frame once and share the codes
+    /// across all trees via row-id bootstrap views. Off reproduces the
+    /// per-tree materialize-and-rebin reference path (kept for the
+    /// benchmark baseline and the sharing-identity tests).
+    bool share_binner = true;
+    /// Histogram fits only: encode query frames once and predict through
+    /// uint8 bin comparisons instead of per-tree double traversals. Both
+    /// paths are bit-identical. Encoding costs one lower_bound per value,
+    /// so on a fresh frame this pays off as trees grow; PredictBinnedRows
+    /// (the CV hot path) skips encoding entirely either way.
+    bool coded_predict = true;
   };
 
   RandomForest() : RandomForest(Options()) {}
@@ -40,6 +59,16 @@ class RandomForest : public Model {
   Result<std::vector<double>> Predict(
       const data::DataFrame& x) const override;
   data::TaskType task() const override { return options_.task; }
+
+  // SharedBinnerModel: cross-validation bins the frame once and trains
+  // every fold's forest (and each forest's trees) on row-id views.
+  Result<std::shared_ptr<const FeatureBinner>> BinFrame(
+      const data::DataFrame& x) const override;
+  Status FitBinned(std::shared_ptr<const FeatureBinner> binner,
+                   const std::vector<double>& y,
+                   const std::vector<size_t>& rows) override;
+  Result<std::vector<double>> PredictBinnedRows(
+      const std::vector<size_t>& rows) const override;
 
   /// Vote fraction for class 1 (binary classification) or mean prediction
   /// (regression).
@@ -54,9 +83,35 @@ class RandomForest : public Model {
   bool fitted() const { return !trees_.empty(); }
 
  private:
+  /// Bootstrap plans pre-drawn serially (samples in tree order, then each
+  /// tree's seed) so parallel tree training is bit-identical to serial.
+  struct TreePlan {
+    std::vector<size_t> sample;
+    uint64_t seed = 0;
+  };
+
+  DecisionTree::Options TreeOptions(uint64_t seed) const;
+  Result<std::vector<TreePlan>> DrawPlans(const std::vector<size_t>* rows,
+                                          size_t n);
+  /// Shared-binner fit over a row view (`rows` null means all frame rows).
+  Status FitShared(std::shared_ptr<const FeatureBinner> binner,
+                   const std::vector<double>& y,
+                   const std::vector<size_t>* rows);
+  /// Reference path: materialize each bootstrap sample and re-bin it.
+  Status FitMaterialized(const data::DataFrame& x,
+                         const std::vector<double>& y);
+  /// Majority vote / mean over per-tree predictions supplied by `predict`.
+  Result<std::vector<double>> Aggregate(
+      size_t n, const std::function<Result<std::vector<double>>(
+                    const DecisionTree&)>& predict) const;
+
   Options options_;
   std::vector<DecisionTree> trees_;
   size_t num_features_ = 0;
+  int num_classes_ = 0;  ///< Classification vote width; 0 for regression.
+  size_t max_features_ = 0;
+  /// The frame binner shared by all trees (histogram fits only).
+  std::shared_ptr<const FeatureBinner> binner_;
 };
 
 }  // namespace eafe::ml

@@ -81,13 +81,21 @@ Rng* ThreadPool::CurrentWorkerRng() { return tls_worker_rng; }
 
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t, size_t)>& fn) {
+  ParallelFor(pool, n, 1, fn);
+}
+
+void ParallelFor(ThreadPool* pool, size_t n, size_t min_block,
+                 const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
+  if (min_block == 0) min_block = 1;
+  const size_t max_blocks = std::max<size_t>(n / min_block, 1);
   if (pool == nullptr || pool->num_threads() <= 1 || n <= 1 ||
-      ThreadPool::OnWorkerThread() || tls_region_depth > 0) {
+      max_blocks <= 1 || ThreadPool::OnWorkerThread() ||
+      tls_region_depth > 0) {
     fn(0, n);
     return;
   }
-  const size_t blocks = std::min(pool->num_threads(), n);
+  const size_t blocks = std::min({pool->num_threads(), n, max_blocks});
   std::vector<std::future<void>> futures;
   futures.reserve(blocks - 1);
   for (size_t b = 1; b < blocks; ++b) {

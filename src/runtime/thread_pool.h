@@ -93,6 +93,15 @@ class ThreadPool {
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t, size_t)>& fn);
 
+/// ParallelFor with a minimum block size: at most n / min_block blocks are
+/// spawned (always at least one), so cheap per-item work — e.g. one
+/// feature's histogram accumulation over a small node — is batched instead
+/// of paying one queue round-trip per handful of items. min_block affects
+/// scheduling only, never the set of (begin, end) pairs' union, so results
+/// stay deterministic under the same static-partition contract.
+void ParallelFor(ThreadPool* pool, size_t n, size_t min_block,
+                 const std::function<void(size_t, size_t)>& fn);
+
 /// Configures the process-wide pool size used by GlobalPool(); 0 means
 /// hardware_concurrency. Takes effect on the next GlobalPool() call, which
 /// rebuilds the pool if the size changed — call only between parallel

@@ -105,7 +105,10 @@ TEST(HistogramBuilderTest, SubtractionMatchesDirectBuild) {
   const data::Dataset dataset = MakeBlobs(120, 5);
   FeatureBinner binner;
   ASSERT_TRUE(binner.Fit(dataset.features).ok());
-  HistogramBuilder builder(&binner, data::TaskType::kClassification, 3,
+  const BinnedLabels labels =
+      BinnedLabels::Create(data::TaskType::kClassification, dataset.labels)
+          .ValueOrDie();
+  HistogramBuilder builder(&binner, data::TaskType::kClassification, &labels,
                            &dataset.labels);
   std::vector<size_t> all(120), left, right;
   for (size_t i = 0; i < all.size(); ++i) {

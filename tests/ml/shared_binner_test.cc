@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/dataframe.h"
+#include "ml/cross_validation.h"
+#include "ml/decision_tree.h"
+#include "ml/feature_binner.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+#include "runtime/thread_pool.h"
+#include "tests/ml/test_util.h"
+
+namespace eafe::ml {
+namespace {
+
+using testing::LabelAccuracy;
+using testing::MakeBlobs;
+using testing::MakeXor;
+
+/// Classification data whose values live on a small integer grid. Every
+/// column has exactly `grid` distinct values, so with n large every
+/// bootstrap sample contains all of them and a per-tree binner computes
+/// the same cuts as the shared full-frame binner — the basis of the
+/// shared-vs-per-tree identity test.
+data::Dataset MakeQuantized(size_t n, size_t columns, uint64_t seed,
+                            size_t grid = 5) {
+  Rng rng(seed);
+  data::Dataset dataset;
+  dataset.name = "quantized";
+  dataset.task = data::TaskType::kClassification;
+  std::vector<std::vector<double>> values(columns, std::vector<double>(n));
+  dataset.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (size_t c = 0; c < columns; ++c) {
+      values[c][i] = static_cast<double>(rng.UniformInt(grid)) -
+                     static_cast<double>(grid / 2);
+      sum += (c % 2 == 0 ? 1.0 : -1.0) * values[c][i];
+    }
+    dataset.labels[i] = sum > 0.0 ? 1.0 : 0.0;
+  }
+  for (size_t c = 0; c < columns; ++c) {
+    EXPECT_TRUE(dataset.features
+                    .AddColumn(data::Column("q" + std::to_string(c),
+                                            std::move(values[c])))
+                    .ok());
+  }
+  return dataset;
+}
+
+/// Wide continuous classification data (p columns) for the
+/// feature-parallel histogram build path.
+data::Dataset MakeWide(size_t n, size_t columns, uint64_t seed) {
+  Rng rng(seed);
+  data::Dataset dataset;
+  dataset.name = "wide";
+  dataset.task = data::TaskType::kClassification;
+  std::vector<std::vector<double>> values(columns, std::vector<double>(n));
+  dataset.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < columns; ++c) values[c][i] = rng.Normal();
+    dataset.labels[i] = values[0][i] + values[1][i] > 0.0 ? 1.0 : 0.0;
+  }
+  for (size_t c = 0; c < columns; ++c) {
+    EXPECT_TRUE(dataset.features
+                    .AddColumn(data::Column("w" + std::to_string(c),
+                                            std::move(values[c])))
+                    .ok());
+  }
+  return dataset;
+}
+
+RandomForest::Options ForestOptions(bool share_binner, bool coded_predict,
+                                    uint64_t seed = 17) {
+  RandomForest::Options options;
+  options.seed = seed;
+  options.share_binner = share_binner;
+  options.coded_predict = coded_predict;
+  return options;
+}
+
+// On quantized data every bootstrap contains every distinct value, so the
+// per-tree binner cuts equal the shared full-frame cuts and the two fit
+// paths must produce bit-identical forests for the same seed.
+TEST(SharedBinnerForestTest, SharedFitMatchesPerTreeFitOnQuantizedData) {
+  const data::Dataset dataset = MakeQuantized(600, 4, 21);
+  const data::Dataset query = MakeQuantized(200, 4, 22);
+  RandomForest shared(ForestOptions(/*share_binner=*/true,
+                                    /*coded_predict=*/false));
+  RandomForest per_tree(ForestOptions(/*share_binner=*/false,
+                                      /*coded_predict=*/false));
+  ASSERT_TRUE(shared.Fit(dataset.features, dataset.labels).ok());
+  ASSERT_TRUE(per_tree.Fit(dataset.features, dataset.labels).ok());
+  EXPECT_EQ(shared.Predict(dataset.features).ValueOrDie(),
+            per_tree.Predict(dataset.features).ValueOrDie());
+  EXPECT_EQ(shared.Predict(query.features).ValueOrDie(),
+            per_tree.Predict(query.features).ValueOrDie());
+  EXPECT_EQ(shared.PredictProba(query.features).ValueOrDie(),
+            per_tree.PredictProba(query.features).ValueOrDie());
+  EXPECT_EQ(shared.FeatureImportances(), per_tree.FeatureImportances());
+}
+
+// code(v) <= split_bin exactly when v <= cut(split_bin) for *any* value,
+// so bin-coded prediction must match double-threshold prediction even
+// when binning is lossy (2000 rows, 255 bins) and the query frame holds
+// values never seen in training.
+TEST(SharedBinnerForestTest, CodedPredictMatchesDoublePredict) {
+  const data::Dataset dataset = MakeXor(2000, 31);
+  const data::Dataset query = MakeXor(500, 32);
+  RandomForest coded(ForestOptions(/*share_binner=*/true,
+                                   /*coded_predict=*/true));
+  RandomForest raw(ForestOptions(/*share_binner=*/true,
+                                 /*coded_predict=*/false));
+  ASSERT_TRUE(coded.Fit(dataset.features, dataset.labels).ok());
+  ASSERT_TRUE(raw.Fit(dataset.features, dataset.labels).ok());
+  EXPECT_EQ(coded.Predict(dataset.features).ValueOrDie(),
+            raw.Predict(dataset.features).ValueOrDie());
+  EXPECT_EQ(coded.Predict(query.features).ValueOrDie(),
+            raw.Predict(query.features).ValueOrDie());
+  EXPECT_EQ(coded.PredictProba(query.features).ValueOrDie(),
+            raw.PredictProba(query.features).ValueOrDie());
+}
+
+TEST(SharedBinnerForestTest, CodedPredictMatchesDoublePredictWhenLossless) {
+  const data::Dataset dataset = MakeBlobs(150, 33);
+  RandomForest coded(ForestOptions(true, true));
+  RandomForest raw(ForestOptions(true, false));
+  ASSERT_TRUE(coded.Fit(dataset.features, dataset.labels).ok());
+  ASSERT_TRUE(raw.Fit(dataset.features, dataset.labels).ok());
+  EXPECT_EQ(coded.Predict(dataset.features).ValueOrDie(),
+            raw.Predict(dataset.features).ValueOrDie());
+}
+
+// The zero-per-tree-work guarantee, by counter: a 10k-row forest fit bins
+// the frame exactly once and never materializes a bootstrap sub-frame,
+// and coded prediction never re-fits a binner.
+TEST(SharedBinnerForestTest, ForestFitBinsOnceAndNeverSelectsRows) {
+  const data::Dataset dataset = MakeXor(10000, 41);
+  RandomForest forest;  // Defaults: histogram, shared, coded.
+  FeatureBinner::ResetTotalFits();
+  data::DataFrame::ResetTotalSelectRows();
+  ASSERT_TRUE(forest.Fit(dataset.features, dataset.labels).ok());
+  EXPECT_EQ(FeatureBinner::TotalFits(), 1u);
+  EXPECT_EQ(data::DataFrame::TotalSelectRows(), 0u);
+  const auto pred = forest.Predict(dataset.features).ValueOrDie();
+  EXPECT_EQ(FeatureBinner::TotalFits(), 1u);  // Predict encodes, never fits.
+  EXPECT_GT(LabelAccuracy(dataset.labels, pred), 0.9);
+}
+
+// Cross-validation probes SharedBinnerModel: one bin of the frame serves
+// every fold and every tree inside every fold, with no fold
+// materialization anywhere.
+TEST(SharedBinnerForestTest, CrossValidationBinsOnceAndNeverSelectsRows) {
+  const data::Dataset dataset = MakeXor(1500, 43);
+  CvOptions cv;
+  cv.folds = 5;
+  FeatureBinner::ResetTotalFits();
+  data::DataFrame::ResetTotalSelectRows();
+  const double score =
+      CrossValidateScore([] { return std::make_unique<RandomForest>(); },
+                         dataset, cv)
+          .ValueOrDie();
+  EXPECT_EQ(FeatureBinner::TotalFits(), 1u);
+  EXPECT_EQ(data::DataFrame::TotalSelectRows(), 0u);
+  EXPECT_GT(score, 0.85);
+}
+
+// The exact strategy declines sharing (BinFrame returns null) and CV must
+// fall back to the materialized path and still work.
+TEST(SharedBinnerForestTest, ExactStrategyFallsBackToMaterializedCv) {
+  const data::Dataset dataset = MakeXor(300, 44);
+  CvOptions cv;
+  cv.folds = 3;
+  FeatureBinner::ResetTotalFits();
+  const double score =
+      CrossValidateScore(
+          [] {
+            RandomForest::Options options;
+            options.split_strategy = SplitStrategy::kExact;
+            return std::make_unique<RandomForest>(options);
+          },
+          dataset, cv)
+          .ValueOrDie();
+  EXPECT_EQ(FeatureBinner::TotalFits(), 0u);
+  EXPECT_GT(score, 0.85);
+}
+
+TEST(SharedBinnerForestTest, FitBinnedRejectsBadInputs) {
+  const data::Dataset dataset = MakeXor(100, 45);
+  RandomForest forest;
+  auto binner = forest.BinFrame(dataset.features).ValueOrDie();
+  ASSERT_NE(binner, nullptr);
+  // Row id out of range, empty rows, and label-count mismatch all fail.
+  EXPECT_FALSE(forest.FitBinned(binner, dataset.labels, {100}).ok());
+  EXPECT_FALSE(forest.FitBinned(binner, dataset.labels, {}).ok());
+  std::vector<double> short_labels(50, 0.0);
+  EXPECT_FALSE(forest.FitBinned(binner, short_labels, {0, 1}).ok());
+  EXPECT_FALSE(forest.FitBinned(nullptr, dataset.labels, {0, 1}).ok());
+  // PredictBinnedRows needs a shared fit first.
+  EXPECT_FALSE(forest.PredictBinnedRows({0}).ok());
+}
+
+// Wide frames (p >= 200) cross the feature-parallel histogram threshold:
+// the per-feature slices are disjoint and each feature walks rows in
+// index order, so fits must be bit-identical at every thread count, for
+// both a standalone tree and a shared-binner forest.
+TEST(SharedBinnerForestTest, WideFrameFitsIdenticalAcrossThreadCounts) {
+  const data::Dataset dataset = MakeWide(2000, 200, 51);
+  DecisionTree::Options tree_options;
+  tree_options.split_strategy = SplitStrategy::kHistogram;
+  tree_options.seed = 7;
+
+  runtime::SetGlobalThreads(1);
+  DecisionTree serial_tree(tree_options);
+  ASSERT_TRUE(serial_tree.Fit(dataset.features, dataset.labels).ok());
+  const auto serial_tree_pred =
+      serial_tree.Predict(dataset.features).ValueOrDie();
+  RandomForest serial_forest(ForestOptions(true, true));
+  ASSERT_TRUE(serial_forest.Fit(dataset.features, dataset.labels).ok());
+  const auto serial_forest_pred =
+      serial_forest.Predict(dataset.features).ValueOrDie();
+
+  for (size_t threads : {2u, 3u, 4u, 8u}) {
+    runtime::SetGlobalThreads(threads);
+    DecisionTree tree(tree_options);
+    ASSERT_TRUE(tree.Fit(dataset.features, dataset.labels).ok());
+    EXPECT_EQ(tree.node_count(), serial_tree.node_count());
+    EXPECT_EQ(tree.Predict(dataset.features).ValueOrDie(), serial_tree_pred);
+    RandomForest forest(ForestOptions(true, true));
+    ASSERT_TRUE(forest.Fit(dataset.features, dataset.labels).ok());
+    EXPECT_EQ(forest.Predict(dataset.features).ValueOrDie(),
+              serial_forest_pred);
+  }
+  runtime::SetGlobalThreads(1);
+}
+
+}  // namespace
+}  // namespace eafe::ml

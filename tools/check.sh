@@ -1,41 +1,106 @@
 #!/usr/bin/env bash
-# Repository check: full build + tests, a Release-mode perf smoke for the
-# histogram tree backend, then the concurrency-sensitive tests (thread
-# pool, score cache, eval service) again under ThreadSanitizer. Run from
-# anywhere; build trees live in the repo root.
+# Repository check, suite by suite — the same entry points CI calls:
 #
-#   tools/check.sh            # full check
-#   tools/check.sh --no-tsan  # skip the sanitizer pass
+#   debug    build + full ctest (all labels) in build/
+#   release  Release build + the micro_tree perf smoke in build-release/
+#   asan     full ctest under AddressSanitizer in build-asan/
+#   tsan     every test labeled `tsan` under ThreadSanitizer in build-tsan/
+#
+# Usage:
+#   tools/check.sh                     # all suites
+#   tools/check.sh --suite tsan       # one suite
+#   tools/check.sh --label ml         # debug suite, ml-labeled tests only
+#   tools/check.sh --no-tsan          # all suites except tsan
+#
+# Test selection is label-driven (see eafe_add_test in tests/CMakeLists.txt):
+# the tsan suite discovers its targets from the `tsan` label instead of a
+# hardcoded binary list, so newly labeled tests are picked up automatically.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 2)"
-run_tsan=1
-[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+suite="all"
+label=""
 
-echo "== build + ctest (${root}/build) =="
-cmake -B "${root}/build" -S "${root}" >/dev/null
-cmake --build "${root}/build" -j "${jobs}"
-ctest --test-dir "${root}/build" --output-on-failure -j "${jobs}"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --suite) suite="$2"; shift 2 ;;
+    --label|-L) label="$2"; shift 2 ;;
+    --no-tsan) suite="no-tsan"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
 
-echo "== histogram tree perf smoke (${root}/build-release) =="
-# An explicit Release tree so the smoke gate measures optimized code even
-# when the default tree was configured with another build type.
-cmake -B "${root}/build-release" -S "${root}" \
-  -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "${root}/build-release" -j "${jobs}" --target micro_tree
-"${root}/build-release/bench/micro_tree" --smoke
+# ctest -L args for an exact label match (empty label selects everything).
+label_args() {
+  [[ -n "$1" ]] && printf -- "-L ^%s$" "$1"
+}
 
-if [[ "${run_tsan}" == 1 ]]; then
-  echo "== runtime tests under ThreadSanitizer (${root}/build-tsan) =="
+# Test names carrying a label in a configured tree; names equal the
+# executable targets eafe_add_test registers, so the list also drives
+# which targets to build.
+labeled_tests() {
+  ctest --test-dir "$1" -N -L "^$2$" 2>/dev/null |
+    sed -n 's/^ *Test #[0-9]*: //p'
+}
+
+run_debug() {
+  echo "== debug: build + ctest (${root}/build) =="
+  cmake -B "${root}/build" -S "${root}" >/dev/null
+  cmake --build "${root}/build" -j "${jobs}"
+  # shellcheck disable=SC2046
+  ctest --test-dir "${root}/build" --output-on-failure -j "${jobs}" \
+    $(label_args "${label}")
+}
+
+run_release() {
+  echo "== release: histogram tree perf smoke (${root}/build-release) =="
+  # An explicit Release tree so the smoke gate measures optimized code even
+  # when the default tree was configured with another build type.
+  cmake -B "${root}/build-release" -S "${root}" \
+    -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "${root}/build-release" -j "${jobs}" --target micro_tree
+  "${root}/build-release/bench/micro_tree" --smoke
+}
+
+run_asan() {
+  echo "== asan: full ctest under AddressSanitizer (${root}/build-asan) =="
+  cmake -B "${root}/build-asan" -S "${root}" \
+    -DEAFE_SANITIZE=address \
+    -DEAFE_BUILD_BENCHMARKS=OFF \
+    -DEAFE_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "${root}/build-asan" -j "${jobs}"
+  # shellcheck disable=SC2046
+  ctest --test-dir "${root}/build-asan" --output-on-failure -j "${jobs}" \
+    $(label_args "${label}")
+}
+
+run_tsan() {
+  echo "== tsan: tsan-labeled tests under ThreadSanitizer (${root}/build-tsan) =="
   cmake -B "${root}/build-tsan" -S "${root}" \
     -DEAFE_SANITIZE=thread \
     -DEAFE_BUILD_BENCHMARKS=OFF \
     -DEAFE_BUILD_EXAMPLES=OFF >/dev/null
-  cmake --build "${root}/build-tsan" -j "${jobs}" \
-    --target eafe_runtime_test eafe_eval_service_test
+  local targets
+  targets="$(labeled_tests "${root}/build-tsan" tsan)"
+  if [[ -z "${targets}" ]]; then
+    echo "no tests carry the tsan label" >&2
+    exit 1
+  fi
+  # shellcheck disable=SC2086
+  cmake --build "${root}/build-tsan" -j "${jobs}" --target ${targets}
   ctest --test-dir "${root}/build-tsan" --output-on-failure -j "${jobs}" \
-    -R 'eafe_(runtime|eval_service)_test'
-fi
+    -L '^tsan$'
+}
+
+case "${suite}" in
+  debug) run_debug ;;
+  release) run_release ;;
+  asan) run_asan ;;
+  tsan) run_tsan ;;
+  no-tsan) run_debug; run_release; run_asan ;;
+  all) run_debug; run_release; run_asan; run_tsan ;;
+  *) echo "unknown suite: ${suite} (debug|release|asan|tsan|all)" >&2; exit 2 ;;
+esac
 
 echo "== check.sh: OK =="
