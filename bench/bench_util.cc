@@ -15,6 +15,7 @@ namespace eafe::bench {
 
 ml::EvaluatorOptions BenchConfig::EvaluatorOptions() const {
   ml::EvaluatorOptions options;
+  options.model = downstream;
   options.cv_folds = cv_folds;
   options.rf_trees = rf_trees;
   options.rf_max_depth = rf_max_depth;
@@ -48,6 +49,9 @@ void AddStandardFlags(FlagParser* parser) {
       .AddInt("epochs", 0, "training epochs (0 = profile default)")
       .AddString("split-strategy", "histogram",
                  "tree split backend: exact | histogram")
+      .AddString("downstream", "rf",
+                 "downstream evaluator: "
+                 "rf|tree|gbdt|logreg|svm|nb_gp|mlp|resnet")
       .AddThreads();
 }
 
@@ -80,6 +84,12 @@ BenchConfig ConfigFromFlags(const FlagParser& parser) {
     std::exit(1);
   }
   config.split_strategy = strategy.ValueOrDie();
+  auto downstream = ml::ModelKindFromString(parser.GetString("downstream"));
+  if (!downstream.ok()) {
+    std::fprintf(stderr, "%s\n", downstream.status().ToString().c_str());
+    std::exit(1);
+  }
+  config.downstream = downstream.ValueOrDie();
   config.threads =
       static_cast<size_t>(std::max<int64_t>(parser.GetInt("threads"), 1));
   runtime::SetGlobalThreads(config.threads);

@@ -48,6 +48,9 @@ struct BenchConfig {
   size_t threads = 1;
   /// Tree split-finding backend for every RF/tree evaluation in the run.
   ml::SplitStrategy split_strategy = ml::SplitStrategy::kHistogram;
+  /// Downstream evaluator family for every search/evaluation in the run
+  /// (--downstream rf|tree|gbdt|logreg|svm|nb_gp|mlp|resnet).
+  ml::ModelKind downstream = ml::ModelKind::kRandomForest;
 
   ml::EvaluatorOptions EvaluatorOptions() const;
   afe::SearchOptions SearchOptions() const;

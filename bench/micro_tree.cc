@@ -22,13 +22,22 @@
 //   {"bench": "forest_predict", ..., "mode": "coded",
 //    "predict_seconds": ..., "speedup_vs_double": ...}
 //
+// A third grid benchmarks the gradient booster through the same shapes —
+// fit and predict, with the shared-binner forest as the cost reference
+// for the evaluator matrix:
+//
+//   {"bench": "gbdt_fit", ..., "mode": "gbdt", "seconds": ...,
+//    "score": ..., "speed_vs_forest": ...}
+//
 // `--smoke` runs one fixed shape and exits nonzero unless the histogram
 // backend is faster than exact, the shared forest fit is faster than the
 // per-tree one, predictions agree bit-for-bit between the fit modes and
-// the predict paths, and scores are within tolerance; tools/check.sh uses
-// it as a Release-mode regression gate. All timings are single-thread
-// (the pool is pinned to one thread) so deltas reflect the algorithmic
-// change, not parallel fan-out.
+// the predict paths, scores are within tolerance, and the booster bins
+// the frame exactly once per fit, refits bit-identically, and clears the
+// no-information score bar; tools/check.sh uses it as a Release-mode
+// regression gate. All timings are single-thread (the pool is pinned to
+// one thread) so deltas reflect the algorithmic change, not parallel
+// fan-out.
 
 #include <cmath>
 #include <cstdio>
@@ -43,6 +52,8 @@
 #include "core/stopwatch.h"
 #include "data/dataframe.h"
 #include "ml/decision_tree.h"
+#include "ml/feature_binner.h"
+#include "ml/gradient_boosted_trees.h"
 #include "ml/metrics.h"
 #include "ml/random_forest.h"
 #include "runtime/thread_pool.h"
@@ -175,6 +186,60 @@ FitResult TimeForestPredict(const data::Dataset& dataset, bool coded,
   return result;
 }
 
+/// Best-of-`reps` single-thread booster fit at evaluator defaults (40
+/// rounds, depth 3); `proba` (optional) receives the training-table
+/// probabilities / raw scores for the refit bit-identity check.
+FitResult TimeGbdtFit(const data::Dataset& dataset, size_t reps,
+                      std::vector<double>* proba = nullptr) {
+  ml::GradientBoostedTrees::Options options;
+  options.task = dataset.task;
+  FitResult result;
+  for (size_t r = 0; r < reps; ++r) {
+    ml::GradientBoostedTrees booster(options);
+    Stopwatch timer;
+    const Status fitted = booster.Fit(dataset.features, dataset.labels);
+    const double seconds = timer.ElapsedSeconds();
+    EAFE_CHECK_MSG(fitted.ok(), fitted.ToString().c_str());
+    if (r == 0 || seconds < result.seconds) result.seconds = seconds;
+    if (r == 0) {
+      auto predicted = booster.Predict(dataset.features);
+      EAFE_CHECK(predicted.ok());
+      result.score = ml::TaskScore(dataset.task, dataset.labels,
+                                   predicted.ValueOrDie());
+      if (proba != nullptr) {
+        auto p = booster.PredictProba(dataset.features);
+        EAFE_CHECK(p.ok());
+        *proba = std::move(p).ValueOrDie();
+      }
+    }
+  }
+  return result;
+}
+
+/// Best-of-`reps` booster predict over the training table (fit outside
+/// the timer): one encode of the query frame, then uint8 routing through
+/// every round's tree.
+FitResult TimeGbdtPredict(const data::Dataset& dataset, size_t reps) {
+  ml::GradientBoostedTrees::Options options;
+  options.task = dataset.task;
+  ml::GradientBoostedTrees booster(options);
+  const Status fitted = booster.Fit(dataset.features, dataset.labels);
+  EAFE_CHECK_MSG(fitted.ok(), fitted.ToString().c_str());
+  FitResult result;
+  for (size_t r = 0; r < reps; ++r) {
+    Stopwatch timer;
+    auto predicted = booster.Predict(dataset.features);
+    const double seconds = timer.ElapsedSeconds();
+    EAFE_CHECK(predicted.ok());
+    if (r == 0 || seconds < result.seconds) result.seconds = seconds;
+    if (r == 0) {
+      result.score = ml::TaskScore(dataset.task, dataset.labels,
+                                   predicted.ValueOrDie());
+    }
+  }
+  return result;
+}
+
 void PrintLine(const data::Dataset& dataset, size_t features,
                ml::SplitStrategy strategy, const FitResult& result,
                double exact_seconds) {
@@ -257,6 +322,29 @@ int RunGrid(bool full, uint64_t seed) {
                       "speedup_vs_double", raw, raw.seconds);
       PrintForestLine("forest_predict", dataset, shape.features, "coded",
                       "speedup_vs_double", coded, raw.seconds);
+    }
+  }
+  // Booster fit/predict with the shared-binner forest as the cost
+  // reference: speed_vs_forest > 1 means gbdt is the cheaper evaluator at
+  // that shape (both run the shared histogram machinery, so the delta is
+  // rounds-times-shallow-trees vs trees-times-depth-8).
+  for (data::TaskType task : {data::TaskType::kClassification,
+                              data::TaskType::kRegression}) {
+    for (const Shape& shape : shapes) {
+      const data::Dataset dataset =
+          MakeTable(task, shape.rows, shape.features, seed);
+      const size_t reps = shape.rows <= 1000 ? 3 : 2;
+      const FitResult forest_fit =
+          TimeForestFit(dataset, /*share_binner=*/true, reps);
+      const FitResult gbdt_fit = TimeGbdtFit(dataset, reps);
+      PrintForestLine("gbdt_fit", dataset, shape.features, "gbdt",
+                      "speed_vs_forest", gbdt_fit, forest_fit.seconds);
+      const FitResult forest_predict =
+          TimeForestPredict(dataset, /*coded=*/true, reps);
+      const FitResult gbdt_predict = TimeGbdtPredict(dataset, reps);
+      PrintForestLine("gbdt_predict", dataset, shape.features, "gbdt",
+                      "speed_vs_forest", gbdt_predict,
+                      forest_predict.seconds);
     }
   }
   return 0;
@@ -342,12 +430,45 @@ int RunSmoke(uint64_t seed) {
   const double predict_speedup =
       coded.seconds > 0.0 ? raw.seconds / coded.seconds : 0.0;
 
+  // Booster gates are correctness-only (timing ratios are reported, not
+  // gated, so shared CI hardware doesn't flake): a whole fit bins the
+  // frame exactly once by counter, a refit is bit-identical, and the
+  // training score clears the no-information 0.5 bar with margin.
+  ml::FeatureBinner::ResetTotalFits();
+  std::vector<double> gbdt_proba;
+  const FitResult gbdt_first = TimeGbdtFit(dataset, 1, &gbdt_proba);
+  if (ml::FeatureBinner::TotalFits() != 1) {
+    std::fprintf(stderr,
+                 "smoke FAILED: gbdt fit ran %zu binner fits, expected 1\n",
+                 ml::FeatureBinner::TotalFits());
+    return 1;
+  }
+  std::vector<double> gbdt_proba_refit;
+  const FitResult gbdt = TimeGbdtFit(dataset, 1, &gbdt_proba_refit);
+  if (gbdt_proba_refit != gbdt_proba) {
+    std::fprintf(stderr,
+                 "smoke FAILED: gbdt refit probabilities are not "
+                 "bit-identical\n");
+    return 1;
+  }
+  if (gbdt.score < 0.75) {
+    std::fprintf(stderr, "smoke FAILED: gbdt training score %.4f < 0.75\n",
+                 gbdt.score);
+    return 1;
+  }
+  const double gbdt_seconds = std::min(gbdt_first.seconds, gbdt.seconds);
+  const double gbdt_vs_forest =
+      gbdt_seconds > 0.0 ? shared.seconds / gbdt_seconds : 0.0;
+  PrintForestLine("gbdt_fit", dataset, 16, "gbdt", "speed_vs_forest", gbdt,
+                  shared.seconds);
+
   std::fprintf(stderr,
                "smoke OK: tree %.2fx vs exact (score delta %.4f), forest "
                "fit %.2fx shared-vs-per-tree, predict %.2fx "
-               "coded-vs-double\n",
+               "coded-vs-double, gbdt score %.4f at %.2fx forest-fit "
+               "speed\n",
                speedup, std::fabs(histogram.score - exact.score),
-               fit_speedup, predict_speedup);
+               fit_speedup, predict_speedup, gbdt.score, gbdt_vs_forest);
   return 0;
 }
 

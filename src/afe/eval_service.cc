@@ -48,6 +48,15 @@ uint64_t EvaluationSignature(const data::Dataset& dataset,
   digest = hashing::MixHash(digest, position++, options.max_bins);
   digest = hashing::MixHash(digest, position++, options.nn_epochs);
   digest = hashing::MixHash(digest, position++, options.linear_epochs);
+  digest = hashing::MixHash(digest, position++, options.gbdt_rounds);
+  digest = hashing::MixHash(
+      digest, position++,
+      std::bit_cast<uint64_t>(options.gbdt_learning_rate));
+  digest = hashing::MixHash(digest, position++, options.gbdt_max_depth);
+  digest = hashing::MixHash(digest, position++,
+                            std::bit_cast<uint64_t>(options.gbdt_subsample));
+  digest = hashing::MixHash(digest, position++,
+                            std::bit_cast<uint64_t>(options.gbdt_lambda));
   digest = hashing::MixHash(digest, position++,
                             static_cast<uint64_t>(dataset.task));
   digest = hashing::MixHash(digest, position++, dataset.num_rows());

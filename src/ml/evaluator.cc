@@ -2,6 +2,7 @@
 
 #include "core/string_util.h"
 #include "ml/gaussian_process.h"
+#include "ml/gradient_boosted_trees.h"
 #include "ml/linear.h"
 #include "ml/mlp.h"
 #include "ml/naive_bayes.h"
@@ -16,6 +17,8 @@ std::string ModelKindToString(ModelKind kind) {
       return "rf";
     case ModelKind::kDecisionTree:
       return "tree";
+    case ModelKind::kGradientBoostedTrees:
+      return "gbdt";
     case ModelKind::kLogisticRegression:
       return "logreg";
     case ModelKind::kLinearSvm:
@@ -36,6 +39,9 @@ Result<ModelKind> ModelKindFromString(const std::string& name) {
     return ModelKind::kRandomForest;
   }
   if (lower == "tree") return ModelKind::kDecisionTree;
+  if (lower == "gbdt" || lower == "gbm" || lower == "boosting") {
+    return ModelKind::kGradientBoostedTrees;
+  }
   if (lower == "logreg" || lower == "logistic") {
     return ModelKind::kLogisticRegression;
   }
@@ -71,6 +77,18 @@ std::unique_ptr<Model> TaskEvaluator::CreateModel(data::TaskType task) const {
       tree.split_strategy = options_.split_strategy;
       tree.max_bins = options_.max_bins;
       return std::make_unique<DecisionTree>(tree);
+    }
+    case ModelKind::kGradientBoostedTrees: {
+      GradientBoostedTrees::Options gbdt;
+      gbdt.task = task;
+      gbdt.rounds = options_.gbdt_rounds;
+      gbdt.learning_rate = options_.gbdt_learning_rate;
+      gbdt.max_depth = options_.gbdt_max_depth;
+      gbdt.subsample = options_.gbdt_subsample;
+      gbdt.lambda = options_.gbdt_lambda;
+      gbdt.max_bins = options_.max_bins;
+      gbdt.seed = options_.seed;
+      return std::make_unique<GradientBoostedTrees>(gbdt);
     }
     case ModelKind::kLogisticRegression: {
       if (task == data::TaskType::kRegression) {

@@ -19,6 +19,7 @@ namespace eafe::ml {
 enum class ModelKind {
   kRandomForest,
   kDecisionTree,
+  kGradientBoostedTrees,
   kLogisticRegression,
   kLinearSvm,
   kNaiveBayesOrGp,
@@ -50,6 +51,14 @@ struct EvaluatorOptions {
   // Neural / linear model budgets.
   size_t nn_epochs = 40;
   size_t linear_epochs = 80;
+  // Gradient-boosting capacity (ModelKind::kGradientBoostedTrees). The
+  // booster always runs the histogram backend and shares one binner per
+  // evaluated frame, like the histogram RF.
+  size_t gbdt_rounds = 40;
+  double gbdt_learning_rate = 0.1;
+  size_t gbdt_max_depth = 3;
+  double gbdt_subsample = 1.0;
+  double gbdt_lambda = 1.0;
 };
 
 /// The formal evaluation task A_T(F, y): k-fold cross-validated score of a

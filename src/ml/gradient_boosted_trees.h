@@ -1,0 +1,121 @@
+#ifndef EAFE_ML_GRADIENT_BOOSTED_TREES_H_
+#define EAFE_ML_GRADIENT_BOOSTED_TREES_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "data/dataframe.h"
+#include "ml/feature_binner.h"
+#include "ml/histogram_builder.h"
+#include "ml/model.h"
+
+namespace eafe::ml {
+
+/// Histogram gradient-boosted trees (Ke et al. 2017; leaf values and
+/// regularized gain per Chen & Guestrin 2016). Binary classification
+/// trains the logistic loss (g = p - y, h = p(1-p)); regression trains
+/// the squared loss (g = F - y, h = 1). Every tree is a shallow
+/// regression tree on gradient pairs with leaf weight -G/(H+lambda).
+///
+/// Training is histogram-only and rides the shared-binner machinery: a
+/// whole booster fit bins the frame exactly once (FeatureBinner::Fit)
+/// and every boosting round trains on row-id views of the shared uint8
+/// codes — no SelectRows, no re-binning, same counter-verified
+/// invariants as the forest. Under cross-validation the frame is binned
+/// once per CV run and each fold's booster trains and scores by row id.
+///
+/// Determinism: the only randomness is the optional per-round row
+/// subsample, drawn serially for every round before any tree is built;
+/// histogram builds fan out feature-parallel on wide frames but each
+/// feature accumulates its rows in index order. Fits and predictions
+/// are bit-identical across runs and thread counts.
+class GradientBoostedTrees : public Model, public SharedBinnerModel {
+ public:
+  struct Options {
+    data::TaskType task = data::TaskType::kClassification;
+    size_t rounds = 40;          ///< Boosting rounds (trees).
+    double learning_rate = 0.1;  ///< Shrinkage on each tree's leaf values.
+    size_t max_depth = 3;        ///< Per-tree depth cap (shallow trees).
+    size_t min_samples_leaf = 2;
+    /// Fraction of the training view sampled (without replacement) per
+    /// round; 1.0 trains every round on the full view.
+    double subsample = 1.0;
+    double lambda = 1.0;  ///< L2 on leaf weights (XGBoost lambda).
+    size_t max_bins = 255;
+    uint64_t seed = 1;
+  };
+
+  GradientBoostedTrees() : GradientBoostedTrees(Options()) {}
+  explicit GradientBoostedTrees(const Options& options);
+
+  Status Fit(const data::DataFrame& x, const std::vector<double>& y) override;
+  Result<std::vector<double>> Predict(const data::DataFrame& x) const override;
+  data::TaskType task() const override { return options_.task; }
+
+  /// P(class == 1) for classification; the raw additive score for
+  /// regression (mirrors RandomForest::PredictProba's convention).
+  Result<std::vector<double>> PredictProba(const data::DataFrame& x) const;
+
+  // SharedBinnerModel — the booster always shares (histogram-only).
+  Result<std::shared_ptr<const FeatureBinner>> BinFrame(
+      const data::DataFrame& x) const override;
+  /// Unlike the forest's bootstrap views, `rows` must be distinct: the
+  /// booster keeps per-row score state and a duplicated id would apply
+  /// every tree's update twice to the same row.
+  Status FitBinned(std::shared_ptr<const FeatureBinner> binner,
+                   const std::vector<double>& y,
+                   const std::vector<size_t>& rows) override;
+  Result<std::vector<double>> PredictBinnedRows(
+      const std::vector<size_t>& rows) const override;
+
+  size_t num_trees() const { return trees_.size(); }
+  double base_score() const { return base_score_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Node {
+    int feature = -1;  ///< -1 for leaves.
+    int left = -1;
+    int right = -1;
+    uint8_t split_bin = 0;    ///< Go left if code <= split_bin.
+    double threshold = 0.0;   ///< Raw-value cut equivalent to split_bin.
+    double value = 0.0;       ///< Leaf weight -G/(H+lambda) (unscaled).
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  Histogram AcquireHistogram();
+  void ReleaseHistogram(Histogram&& hist);
+
+  /// Recursively grows one round's tree; consumes `indices` and `hist`.
+  int BuildNode(const HistogramBuilder& builder,
+                std::vector<size_t>& indices, Histogram&& hist, size_t depth,
+                Tree* tree);
+
+  /// Leaf value of `row` in `tree`, routed through the fitted binner.
+  double TraverseBinnedRow(const Tree& tree, size_t row) const;
+  /// Leaf value of `row` in `tree`, routed through encoded query codes.
+  double TraverseCoded(const Tree& tree, const EncodedFrame& codes,
+                       size_t row) const;
+
+  /// Raw additive scores F(x) for an encoded query frame.
+  std::vector<double> RawScoresCoded(const EncodedFrame& codes,
+                                     size_t num_rows) const;
+
+  Status CheckPredict(size_t num_columns) const;
+
+  Options options_;
+  std::shared_ptr<const FeatureBinner> binner_;
+  std::vector<Tree> trees_;
+  double base_score_ = 0.0;
+  size_t num_features_ = 0;
+  std::vector<Histogram> hist_pool_;
+};
+
+}  // namespace eafe::ml
+
+#endif  // EAFE_ML_GRADIENT_BOOSTED_TREES_H_

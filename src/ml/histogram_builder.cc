@@ -43,16 +43,38 @@ HistogramBuilder::HistogramBuilder(const FeatureBinner* binner,
                                    data::TaskType task,
                                    const BinnedLabels* labels,
                                    const std::vector<double>* y)
-    : binner_(binner), task_(task), labels_(labels), y_(y) {
+    : binner_(binner),
+      mode_(task == data::TaskType::kClassification ? Mode::kClassification
+                                                    : Mode::kRegression),
+      labels_(labels),
+      y_(y) {
   EAFE_CHECK(binner_ != nullptr && binner_->fitted());
   EAFE_CHECK(labels_ != nullptr && y_ != nullptr);
-  const bool classification = task_ == data::TaskType::kClassification;
+  const bool classification = mode_ == Mode::kClassification;
   entry_width_ =
       classification ? static_cast<size_t>(labels_->num_classes) : 3;
   EAFE_CHECK_GE(entry_width_, 1u);
   if (classification) {
     EAFE_CHECK_EQ(labels_->classes.size(), y_->size());
   }
+  InitOffsets();
+}
+
+HistogramBuilder::HistogramBuilder(const FeatureBinner* binner,
+                                   const std::vector<double>* gradients,
+                                   const std::vector<double>* hessians)
+    : binner_(binner),
+      mode_(Mode::kGradientPair),
+      gradients_(gradients),
+      hessians_(hessians) {
+  EAFE_CHECK(binner_ != nullptr && binner_->fitted());
+  EAFE_CHECK(gradients_ != nullptr && hessians_ != nullptr);
+  EAFE_CHECK_EQ(gradients_->size(), hessians_->size());
+  entry_width_ = 3;  // {count, sum_g, sum_h}.
+  InitOffsets();
+}
+
+void HistogramBuilder::InitOffsets() {
   offsets_.resize(binner_->num_features());
   size_t offset = 0;
   for (size_t f = 0; f < binner_->num_features(); ++f) {
@@ -65,24 +87,30 @@ HistogramBuilder::HistogramBuilder(const FeatureBinner* binner,
 void HistogramBuilder::BuildFeatures(const std::vector<size_t>& indices,
                                      size_t begin, size_t end,
                                      Histogram* out) const {
-  const bool classification = task_ == data::TaskType::kClassification;
   for (size_t f = begin; f < end; ++f) {
     if (binner_->num_bins(f) < 2) continue;  // Constant column: no splits.
     const std::vector<uint8_t>& codes = binner_->codes(f);
     double* h = out->data.data() + offsets_[f];
-    if (classification) {
+    if (mode_ == Mode::kClassification) {
       const size_t width = entry_width_;
       const std::vector<int>& classes = labels_->classes;
       for (size_t i : indices) {
         h[codes[i] * width + static_cast<size_t>(classes[i])] += 1.0;
       }
-    } else {
+    } else if (mode_ == Mode::kRegression) {
       for (size_t i : indices) {
         const double value = (*y_)[i];
         double* entry = h + codes[i] * 3;
         entry[0] += 1.0;
         entry[1] += value;
         entry[2] += value * value;
+      }
+    } else {
+      for (size_t i : indices) {
+        double* entry = h + codes[i] * 3;
+        entry[0] += 1.0;
+        entry[1] += (*gradients_)[i];
+        entry[2] += (*hessians_)[i];
       }
     }
   }
@@ -92,16 +120,21 @@ void HistogramBuilder::Build(const std::vector<size_t>& indices,
                              Histogram* out) const {
   out->data.assign(total_size_, 0.0);
   out->totals.assign(entry_width_, 0.0);
-  const bool classification = task_ == data::TaskType::kClassification;
-  if (classification) {
+  if (mode_ == Mode::kClassification) {
     const std::vector<int>& classes = labels_->classes;
     for (size_t i : indices) out->totals[classes[i]] += 1.0;
-  } else {
+  } else if (mode_ == Mode::kRegression) {
     for (size_t i : indices) {
       const double value = (*y_)[i];
       out->totals[0] += 1.0;
       out->totals[1] += value;
       out->totals[2] += value * value;
+    }
+  } else {
+    for (size_t i : indices) {
+      out->totals[0] += 1.0;
+      out->totals[1] += (*gradients_)[i];
+      out->totals[2] += (*hessians_)[i];
     }
   }
   const size_t num_features = binner_->num_features();
@@ -139,8 +172,9 @@ void HistogramBuilder::Subtract(const Histogram& parent,
 
 double HistogramBuilder::NodeImpurity(const Histogram& hist,
                                       size_t node_size) const {
+  EAFE_CHECK(mode_ != Mode::kGradientPair);
   const double n = static_cast<double>(node_size);
-  if (task_ == data::TaskType::kClassification) {
+  if (mode_ == Mode::kClassification) {
     return GiniFromCounts(hist.totals.data(), labels_->num_classes, n);
   }
   const double mean = hist.totals[1] / n;
@@ -151,9 +185,10 @@ HistogramBuilder::Split HistogramBuilder::FindBestSplit(
     const Histogram& hist, const std::vector<size_t>& features,
     size_t node_size, size_t min_samples_leaf,
     double parent_impurity) const {
+  EAFE_CHECK(mode_ != Mode::kGradientPair);
   Split best;
   const double n = static_cast<double>(node_size);
-  const bool classification = task_ == data::TaskType::kClassification;
+  const bool classification = mode_ == Mode::kClassification;
   const double min_leaf = static_cast<double>(min_samples_leaf);
 
   std::vector<double> left(entry_width_);
@@ -216,6 +251,50 @@ HistogramBuilder::Split HistogramBuilder::FindBestSplit(
         impurity = wl * left_var + (1.0 - wl) * right_var;
       }
       const double gain = parent_impurity - impurity;
+      if (gain > best.gain) {
+        best.gain = gain;
+        best.feature = static_cast<int>(f);
+        best.bin = static_cast<int>(b);
+      }
+    }
+  }
+  return best;
+}
+
+HistogramBuilder::Split HistogramBuilder::FindBestSplitGradient(
+    const Histogram& hist, size_t min_samples_leaf, double lambda) const {
+  EAFE_CHECK(mode_ == Mode::kGradientPair);
+  Split best;
+  const double total_n = hist.totals[0];
+  const double total_g = hist.totals[1];
+  const double total_h = hist.totals[2];
+  const double parent_term = total_g * total_g / (total_h + lambda);
+  const double min_leaf = static_cast<double>(min_samples_leaf);
+
+  const size_t num_features = binner_->num_features();
+  for (size_t f = 0; f < num_features; ++f) {
+    const size_t bins = binner_->num_bins(f);
+    if (bins < 2) continue;
+    const double* h = hist.data.data() + offsets_[f];
+    double left_n = 0.0, left_g = 0.0, left_h = 0.0;
+    // Same scan shape as FindBestSplit: empty bins duplicate the previous
+    // boundary and are skipped; the scan stops once the right side drops
+    // below the leaf minimum.
+    for (size_t b = 0; b + 1 < bins; ++b) {
+      const double* entry = h + b * 3;
+      if (entry[0] <= 0.0) continue;  // Empty bin: duplicate boundary.
+      left_n += entry[0];
+      left_g += entry[1];
+      left_h += entry[2];
+      const double right_n = total_n - left_n;
+      if (right_n <= 0.0 || right_n < min_leaf) break;
+      if (left_n < min_leaf) continue;
+
+      const double right_g = total_g - left_g;
+      const double right_h = total_h - left_h;
+      const double gain =
+          0.5 * (left_g * left_g / (left_h + lambda) +
+                 right_g * right_g / (right_h + lambda) - parent_term);
       if (gain > best.gain) {
         best.gain = gain;
         best.feature = static_cast<int>(f);

@@ -42,12 +42,26 @@ struct Histogram {
 /// flat array are disjoint and each feature accumulates its rows serially
 /// in index order, so the result is bit-identical at any thread count
 /// (nested calls — e.g. from per-tree forest fan-out — run inline).
+///
+/// A third mode accumulates gradient pairs ({count, Σg, Σh} per bin) for
+/// gradient boosting: the same binner, flat layout, subtraction trick,
+/// and feature-parallel build serve the booster's per-round trees, with
+/// FindBestSplitGradient scanning the second-order (XGBoost) gain instead
+/// of an impurity decrease.
 class HistogramBuilder {
  public:
   /// `binner`, `labels`, and `y` must outlive the builder; `labels` holds
   /// the frame's shared class codes (BinnedLabels::Create).
   HistogramBuilder(const FeatureBinner* binner, data::TaskType task,
                    const BinnedLabels* labels, const std::vector<double>* y);
+
+  /// Gradient-pair mode for gradient boosting: entries are {count, Σg,
+  /// Σh}. `gradients` and `hessians` are frame-row-indexed and must
+  /// outlive the builder; the booster refreshes their values between
+  /// rounds and rebuilds histograms through the same instance.
+  HistogramBuilder(const FeatureBinner* binner,
+                   const std::vector<double>* gradients,
+                   const std::vector<double>* hessians);
 
   /// Doubles per bin: num_classes (classification) or 3 (regression).
   size_t entry_width() const { return entry_width_; }
@@ -80,7 +94,17 @@ class HistogramBuilder {
                       const std::vector<size_t>& features, size_t node_size,
                       size_t min_samples_leaf, double parent_impurity) const;
 
+  /// Best boundary over every feature under the second-order gain
+  ///   0.5 * (G_L^2/(H_L+lambda) + G_R^2/(H_R+lambda) - G^2/(H+lambda))
+  /// (Chen & Guestrin 2016, eq. 7). Gradient-pair mode only; empty-bin
+  /// skipping and min-leaf pruning mirror FindBestSplit. With lambda > 0
+  /// a uniform-gradient (pure) node never yields positive gain, so the
+  /// booster needs no separate purity check.
+  Split FindBestSplitGradient(const Histogram& hist, size_t min_samples_leaf,
+                              double lambda) const;
+
  private:
+  enum class Mode { kClassification, kRegression, kGradientPair };
   /// Feature-count floor below which Build never fans out: narrow frames
   /// finish faster serially than one queue round-trip costs.
   static constexpr size_t kMinParallelFeatures = 64;
@@ -90,10 +114,14 @@ class HistogramBuilder {
   void BuildFeatures(const std::vector<size_t>& indices, size_t begin,
                      size_t end, Histogram* out) const;
 
+  void InitOffsets();
+
   const FeatureBinner* binner_;
-  data::TaskType task_;
-  const BinnedLabels* labels_;
-  const std::vector<double>* y_;
+  Mode mode_;
+  const BinnedLabels* labels_ = nullptr;
+  const std::vector<double>* y_ = nullptr;
+  const std::vector<double>* gradients_ = nullptr;
+  const std::vector<double>* hessians_ = nullptr;
   size_t entry_width_ = 0;
   std::vector<size_t> offsets_;   ///< Per-feature offset into data.
   size_t total_size_ = 0;

@@ -15,8 +15,9 @@ using testing::MakeSmoothRegression;
 TEST(ModelKindTest, StringRoundTrip) {
   for (ModelKind kind :
        {ModelKind::kRandomForest, ModelKind::kDecisionTree,
-        ModelKind::kLogisticRegression, ModelKind::kLinearSvm,
-        ModelKind::kNaiveBayesOrGp, ModelKind::kMlp, ModelKind::kResNet}) {
+        ModelKind::kGradientBoostedTrees, ModelKind::kLogisticRegression,
+        ModelKind::kLinearSvm, ModelKind::kNaiveBayesOrGp, ModelKind::kMlp,
+        ModelKind::kResNet}) {
     const std::string name = ModelKindToString(kind);
     EXPECT_EQ(ModelKindFromString(name).ValueOrDie(), kind) << name;
   }
@@ -91,6 +92,7 @@ TEST_P(EvaluatorModelKindTest, EveryModelKindScoresBothTasks) {
 INSTANTIATE_TEST_SUITE_P(
     AllModels, EvaluatorModelKindTest,
     ::testing::Values(ModelKind::kRandomForest, ModelKind::kDecisionTree,
+                      ModelKind::kGradientBoostedTrees,
                       ModelKind::kLogisticRegression, ModelKind::kLinearSvm,
                       ModelKind::kNaiveBayesOrGp, ModelKind::kMlp,
                       ModelKind::kResNet),

@@ -3,6 +3,7 @@
 #
 #   debug    build + full ctest (all labels) in build/
 #   release  Release build + the micro_tree perf smoke in build-release/
+#            (tree, shared-binner forest, and gbdt booster gates)
 #   asan     full ctest under AddressSanitizer in build-asan/
 #   tsan     every test labeled `tsan` under ThreadSanitizer in build-tsan/
 #

@@ -6,11 +6,12 @@
 //
 //   eafe search --data train.csv --label target --task classification \
 //               [--model model.txt] [--method eafe|nfs|random]
-//               [--epochs 10] [--out engineered.csv]
+//               [--downstream rf|gbdt|...] [--epochs 10]
+//               [--out engineered.csv]
 //       Run AFE on a CSV dataset; optionally write the engineered table.
 //
 //   eafe evaluate --data train.csv --label target --task classification \
-//                 [--downstream rf|svm|nb_gp|mlp|resnet]
+//                 [--downstream rf|gbdt|svm|nb_gp|mlp|resnet]
 //       Cross-validated downstream score of a dataset as-is.
 //
 //   eafe describe --data train.csv --label target --task classification
@@ -115,6 +116,9 @@ int Search(int argc, char** argv) {
       .AddInt("max-features", 48, "RF-importance pre-selection cap")
       .AddString("out", "", "write the engineered table to this CSV")
       .AddInt("seed", 17, "random seed")
+      .AddString("downstream", "rf",
+                 "downstream evaluator: "
+                 "rf|tree|gbdt|logreg|svm|nb_gp|mlp|resnet")
       .AddString("split-strategy", "histogram",
                  "tree split backend: exact | histogram")
       .AddThreads();
@@ -140,6 +144,9 @@ int Search(int argc, char** argv) {
   afe::SearchOptions search_options;
   search_options.epochs = static_cast<size_t>(flags.GetInt("epochs"));
   search_options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  auto downstream = ml::ModelKindFromString(flags.GetString("downstream"));
+  if (!downstream.ok()) return Fail(downstream.status());
+  search_options.evaluator.model = downstream.ValueOrDie();
   auto search_strategy =
       ml::SplitStrategyFromString(flags.GetString("split-strategy"));
   if (!search_strategy.ok()) return Fail(search_strategy.status());
@@ -204,7 +211,8 @@ int Evaluate(int argc, char** argv) {
   flags.AddString("data", "", "input CSV")
       .AddString("label", "", "label column name")
       .AddString("task", "classification", "classification|regression")
-      .AddString("downstream", "rf", "rf|tree|logreg|svm|nb_gp|mlp|resnet")
+      .AddString("downstream", "rf",
+                 "rf|tree|gbdt|logreg|svm|nb_gp|mlp|resnet")
       .AddInt("folds", 5, "cross-validation folds")
       .AddInt("seed", 17, "random seed")
       .AddString("split-strategy", "histogram",
