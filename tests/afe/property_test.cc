@@ -72,11 +72,11 @@ TEST_P(OperatorPropertyTest, NameReflectsOperands) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllOperators, OperatorPropertyTest,
-                         ::testing::ValuesIn(AllOperators()),
-                         [](const ::testing::TestParamInfo<Operator>& info) {
-                           return OperatorToString(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllOperators, OperatorPropertyTest, ::testing::ValuesIn(AllOperators()),
+    [](const ::testing::TestParamInfo<Operator>& param_info) {
+      return OperatorToString(param_info.param);
+    });
 
 // Specific algebraic identities (spot checks with exact values).
 TEST(OperatorAlgebraTest, MinMaxIsIdempotentOnUnitInterval) {

@@ -113,8 +113,8 @@ INSTANTIATE_TEST_SUITE_P(
     WeightedSchemes, CwsSchemeTest,
     ::testing::Values(MinHashScheme::kIcws, MinHashScheme::kCcws,
                       MinHashScheme::kPcws, MinHashScheme::kLicws),
-    [](const ::testing::TestParamInfo<MinHashScheme>& info) {
-      return MinHashSchemeToString(info.param);
+    [](const ::testing::TestParamInfo<MinHashScheme>& param_info) {
+      return MinHashSchemeToString(param_info.param);
     });
 
 TEST(WeightedMinHashTest, EstimateTracksGeneralizedJaccardAtMidRange) {

@@ -96,8 +96,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ModelKind::kLogisticRegression, ModelKind::kLinearSvm,
                       ModelKind::kNaiveBayesOrGp, ModelKind::kMlp,
                       ModelKind::kResNet),
-    [](const ::testing::TestParamInfo<ModelKind>& info) {
-      return ModelKindToString(info.param);
+    [](const ::testing::TestParamInfo<ModelKind>& param_info) {
+      return ModelKindToString(param_info.param);
     });
 
 }  // namespace

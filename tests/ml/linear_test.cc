@@ -41,8 +41,8 @@ TEST(LogisticRegressionTest, ProbabilitiesCalibratedDirectionally) {
       ++neg;
     }
   }
-  EXPECT_GT(pos_mean / pos, 0.7);
-  EXPECT_LT(neg_mean / neg, 0.3);
+  EXPECT_GT(pos_mean / static_cast<double>(pos), 0.7);
+  EXPECT_LT(neg_mean / static_cast<double>(neg), 0.3);
 }
 
 TEST(LogisticRegressionTest, MultiClassOneVsRest) {

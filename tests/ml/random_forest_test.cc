@@ -63,7 +63,8 @@ TEST(RandomForestTest, PredictProbaBetweenZeroAndOne) {
       ++neg;
     }
   }
-  EXPECT_GT(pos_mean / pos, neg_mean / neg);
+  EXPECT_GT(pos_mean / static_cast<double>(pos),
+            neg_mean / static_cast<double>(neg));
 }
 
 TEST(RandomForestTest, FeatureImportancesNormalized) {

@@ -1,0 +1,215 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace eafe::lint {
+namespace {
+
+// Every rule must (a) fire on a known-bad snippet with a pointed message
+// and (b) stay quiet on the idiomatic equivalent — the lint suite is only
+// trustworthy if both directions are pinned.
+
+std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& finding : findings) rules.push_back(finding.rule);
+  return rules;
+}
+
+TEST(StripCommentsAndStringsTest, ErasesCommentsAndLiteralsKeepingLines) {
+  const std::string source =
+      "int a; // std::thread in a comment\n"
+      "/* rand() in a block\n"
+      "   comment */ int b;\n"
+      "const char* s = \"std::random_device\";\n"
+      "char c = 'r';\n";
+  const std::string stripped = StripCommentsAndStrings(source);
+  EXPECT_EQ(stripped.find("thread"), std::string::npos);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("random_device"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+  // Line structure is preserved so findings keep real line numbers.
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(source.begin(), source.end(), '\n'));
+}
+
+TEST(StripCommentsAndStringsTest, HandlesRawStringsAndDigitSeparators) {
+  const std::string source =
+      "auto r = R\"(rand() time(nullptr))\";\n"
+      "int n = 1'000'000;\n"
+      "int m = n;\n";
+  const std::string stripped = StripCommentsAndStrings(source);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_NE(stripped.find("int m = n;"), std::string::npos);
+}
+
+TEST(DeterminismTest, FiresOnEntropyAndWallClockSources) {
+  const std::string source =
+      "#include <random>\n"
+      "int a = rand();\n"
+      "std::random_device rd;\n"
+      "auto t = std::chrono::system_clock::now();\n"
+      "long w = std::time(nullptr);\n";
+  const std::vector<Finding> findings = CheckDeterminism("src/ml/x.cc", source);
+  ASSERT_EQ(findings.size(), 4u);
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[0].rule, kRuleDeterminism);
+  EXPECT_NE(findings[0].message.find("eafe::Rng"), std::string::npos);
+  EXPECT_EQ(findings[1].line, 3u);
+  EXPECT_EQ(findings[2].line, 4u);
+  EXPECT_EQ(findings[3].line, 5u);
+}
+
+TEST(DeterminismTest, IgnoresLookalikesCommentsAndSteadyClock) {
+  const std::string source =
+      "// rand() in prose is fine\n"
+      "double elapsed = stopwatch.time();\n"
+      "double t = elapsed_time(3);\n"
+      "auto now = std::chrono::steady_clock::now();\n"
+      "int time_budget = 3;\n";
+  EXPECT_TRUE(CheckDeterminism("src/ml/x.cc", source).empty());
+}
+
+TEST(DeterminismTest, AllowEscapeAndSeedEntryPointAreExempt) {
+  const std::string escaped =
+      "std::random_device rd;  // eafe-lint: allow(determinism) os seed\n";
+  EXPECT_TRUE(CheckDeterminism("src/ml/x.cc", escaped).empty());
+  // The escape names a specific rule; other rules still apply.
+  EXPECT_TRUE(CheckDeterminism("src/core/rng.cc", "int a = rand();").empty());
+}
+
+TEST(RawThreadTest, FiresOutsideRuntime) {
+  const std::string source =
+      "#include <thread>\n"
+      "std::thread t([] {});\n"
+      "auto f = std::async([] { return 1; });\n"
+      "pthread_create(nullptr, nullptr, nullptr, nullptr);\n";
+  const std::vector<Finding> findings = CheckRawThreads("src/afe/x.cc", source);
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].rule, kRuleRawThread);
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_NE(findings[0].message.find("runtime::ThreadPool"),
+            std::string::npos);
+}
+
+TEST(RawThreadTest, RuntimeHardwareConcurrencyAndEscapeAreExempt) {
+  EXPECT_TRUE(
+      CheckRawThreads("src/runtime/thread_pool.cc", "std::thread t;").empty());
+  EXPECT_TRUE(CheckRawThreads(
+                  "src/core/flags.cc",
+                  "size_t n = std::thread::hardware_concurrency();")
+                  .empty());
+  EXPECT_TRUE(CheckRawThreads(
+                  "src/afe/x.cc",
+                  "std::thread t;  // eafe-lint: allow(raw-thread) why\n")
+                  .empty());
+}
+
+constexpr char kTestsCMake[] = R"cmake(
+# labels drive suite selection
+eafe_add_test(good_test
+  LABELS "ml;tsan"
+  SOURCES ml/good_test.cc
+)
+eafe_add_test(unlabeled_test SOURCES core/plain_test.cc)
+eafe_add_test(needs_tsan_test
+  LABELS runtime
+  SOURCES runtime/pool_test.cc
+)
+)cmake";
+
+std::optional<std::string> FakeSource(const std::string& path) {
+  if (path == "ml/good_test.cc") return "TEST(G, ParallelForIsCovered) {}";
+  if (path == "core/plain_test.cc") return "TEST(P, NoConcurrency) {}";
+  if (path == "runtime/pool_test.cc") {
+    return "#include \"runtime/thread_pool.h\"\nruntime::ThreadPool pool;";
+  }
+  return std::nullopt;
+}
+
+TEST(TestLabelsTest, ParsesRegistrations) {
+  const std::vector<TestRegistration> tests =
+      ParseTestRegistrations(kTestsCMake);
+  ASSERT_EQ(tests.size(), 3u);
+  EXPECT_EQ(tests[0].name, "good_test");
+  EXPECT_EQ(tests[0].labels, (std::vector<std::string>{"ml", "tsan"}));
+  EXPECT_EQ(tests[0].sources, (std::vector<std::string>{"ml/good_test.cc"}));
+  EXPECT_TRUE(tests[1].labels.empty());
+  EXPECT_EQ(tests[2].labels, (std::vector<std::string>{"runtime"}));
+}
+
+TEST(TestLabelsTest, FlagsUnlabeledAndMissingTsan) {
+  const std::vector<Finding> findings =
+      CheckTestLabels(ParseTestRegistrations(kTestsCMake), FakeSource);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, kRuleTestLabels);
+  EXPECT_NE(findings[0].message.find("unlabeled_test"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("needs_tsan_test"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("ThreadPool"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("tsan"), std::string::npos);
+}
+
+TEST(TestLabelsTest, TsanLabeledConcurrencyTestIsClean) {
+  const std::string cmake =
+      "eafe_add_test(t LABELS \"runtime;tsan\" SOURCES runtime/pool_test.cc)";
+  EXPECT_TRUE(
+      CheckTestLabels(ParseTestRegistrations(cmake), FakeSource).empty());
+}
+
+constexpr char kEvaluatorHeader[] = R"cc(
+struct EvaluatorOptions {
+  ModelKind model = ModelKind::kRandomForest;
+  size_t cv_folds = 5;
+  uint64_t seed = 1;
+  double gbdt_lambda = 1.0;
+};
+)cc";
+
+TEST(CacheSignatureTest, ParsesFields) {
+  EXPECT_EQ(ParseEvaluatorOptionsFields(kEvaluatorHeader),
+            (std::vector<std::string>{"model", "cv_folds", "seed",
+                                      "gbdt_lambda"}));
+}
+
+TEST(CacheSignatureTest, FlagsFieldMissingFromSignature) {
+  const std::string service =
+      "uint64_t EvaluationSignature(const ml::EvaluatorOptions& options) {\n"
+      "  digest = MixHash(digest, 0, static_cast<uint64_t>(options.model));\n"
+      "  digest = MixHash(digest, 1, options.cv_folds);\n"
+      "  digest = MixHash(digest, 2, options.seed);\n"
+      "}\n";
+  const std::vector<Finding> findings =
+      CheckCacheSignature(kEvaluatorHeader, service);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kRuleCacheSignature);
+  EXPECT_EQ(findings[0].line, 1u);  // anchored at EvaluationSignature()
+  EXPECT_NE(findings[0].message.find("EvaluatorOptions::gbdt_lambda"),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("share cached scores"),
+            std::string::npos);
+}
+
+TEST(CacheSignatureTest, CompleteSignatureIsClean) {
+  const std::string service =
+      "uint64_t EvaluationSignature(const ml::EvaluatorOptions& options) {\n"
+      "  Mix(options.model); Mix(options.cv_folds); Mix(options.seed);\n"
+      "  Mix(std::bit_cast<uint64_t>(options.gbdt_lambda));\n"
+      "}\n";
+  EXPECT_TRUE(CheckCacheSignature(kEvaluatorHeader, service).empty());
+}
+
+TEST(CacheSignatureTest, UnparsableHeaderIsItselfAFinding) {
+  const std::vector<Finding> findings =
+      CheckCacheSignature("struct SomethingElse {};", "");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(Rules(findings), (std::vector<std::string>{kRuleCacheSignature}));
+}
+
+}  // namespace
+}  // namespace eafe::lint

@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # Repository check, suite by suite — the same entry points CI calls:
 #
+#   lint     eafe_lint invariant checker + clang-tidy (when installed) in build/
 #   debug    build + full ctest (all labels) in build/
 #   release  Release build + the micro_tree perf smoke in build-release/
 #            (tree, shared-binner forest, and gbdt booster gates)
 #   asan     full ctest under AddressSanitizer in build-asan/
+#   ubsan    full ctest under UndefinedBehaviorSanitizer in build-ubsan/
 #   tsan     every test labeled `tsan` under ThreadSanitizer in build-tsan/
+#
+# All suites configure with -DEAFE_WERROR=ON: the warning wall
+# (-Wall -Wextra -Wshadow -Wconversion) is kept clean, so a new warning is
+# a failure here and in CI, not background noise.
 #
 # Usage:
 #   tools/check.sh                     # all suites
@@ -20,12 +26,22 @@ set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 2)"
+suites="lint debug release asan ubsan tsan"
 suite="all"
 label=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
-    --suite) suite="$2"; shift 2 ;;
+    --suite)
+      suite="$2"
+      case " ${suites} all no-tsan " in
+        *" ${suite} "*) ;;
+        *)
+          echo "unknown suite: '${suite}' (expected one of: ${suites}," \
+               "all, no-tsan)" >&2
+          exit 2 ;;
+      esac
+      shift 2 ;;
     --label|-L) label="$2"; shift 2 ;;
     --no-tsan) suite="no-tsan"; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
@@ -45,9 +61,22 @@ labeled_tests() {
     sed -n 's/^ *Test #[0-9]*: //p'
 }
 
+run_lint() {
+  echo "== lint: eafe_lint invariants + clang-tidy (${root}/build) =="
+  cmake -B "${root}/build" -S "${root}" -DEAFE_WERROR=ON >/dev/null
+  cmake --build "${root}/build" -j "${jobs}" \
+    --target eafe_lint eafe_lint_test
+  ctest --test-dir "${root}/build" --output-on-failure -L '^lint$'
+  if command -v clang-tidy >/dev/null 2>&1; then
+    "${root}/tools/run_clang_tidy.sh" "${root}/build"
+  else
+    echo "clang-tidy not installed — tidy pass skipped (CI runs it)"
+  fi
+}
+
 run_debug() {
   echo "== debug: build + ctest (${root}/build) =="
-  cmake -B "${root}/build" -S "${root}" >/dev/null
+  cmake -B "${root}/build" -S "${root}" -DEAFE_WERROR=ON >/dev/null
   cmake --build "${root}/build" -j "${jobs}"
   # shellcheck disable=SC2046
   ctest --test-dir "${root}/build" --output-on-failure -j "${jobs}" \
@@ -59,7 +88,7 @@ run_release() {
   # An explicit Release tree so the smoke gate measures optimized code even
   # when the default tree was configured with another build type.
   cmake -B "${root}/build-release" -S "${root}" \
-    -DCMAKE_BUILD_TYPE=Release >/dev/null
+    -DCMAKE_BUILD_TYPE=Release -DEAFE_WERROR=ON >/dev/null
   cmake --build "${root}/build-release" -j "${jobs}" --target micro_tree
   "${root}/build-release/bench/micro_tree" --smoke
 }
@@ -68,6 +97,7 @@ run_asan() {
   echo "== asan: full ctest under AddressSanitizer (${root}/build-asan) =="
   cmake -B "${root}/build-asan" -S "${root}" \
     -DEAFE_SANITIZE=address \
+    -DEAFE_WERROR=ON \
     -DEAFE_BUILD_BENCHMARKS=OFF \
     -DEAFE_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build "${root}/build-asan" -j "${jobs}"
@@ -76,10 +106,27 @@ run_asan() {
     $(label_args "${label}")
 }
 
+run_ubsan() {
+  echo "== ubsan: full ctest under UBSan (${root}/build-ubsan) =="
+  cmake -B "${root}/build-ubsan" -S "${root}" \
+    -DEAFE_SANITIZE=undefined \
+    -DEAFE_WERROR=ON \
+    -DEAFE_BUILD_BENCHMARKS=OFF \
+    -DEAFE_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "${root}/build-ubsan" -j "${jobs}"
+  # Recovery is compiled out (-fno-sanitize-recover=all), so any violation
+  # aborts the test; print_stacktrace makes the abort actionable.
+  # shellcheck disable=SC2046
+  UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --test-dir "${root}/build-ubsan" --output-on-failure -j "${jobs}" \
+    $(label_args "${label}")
+}
+
 run_tsan() {
   echo "== tsan: tsan-labeled tests under ThreadSanitizer (${root}/build-tsan) =="
   cmake -B "${root}/build-tsan" -S "${root}" \
     -DEAFE_SANITIZE=thread \
+    -DEAFE_WERROR=ON \
     -DEAFE_BUILD_BENCHMARKS=OFF \
     -DEAFE_BUILD_EXAMPLES=OFF >/dev/null
   local targets
@@ -95,13 +142,14 @@ run_tsan() {
 }
 
 case "${suite}" in
+  lint) run_lint ;;
   debug) run_debug ;;
   release) run_release ;;
   asan) run_asan ;;
+  ubsan) run_ubsan ;;
   tsan) run_tsan ;;
-  no-tsan) run_debug; run_release; run_asan ;;
-  all) run_debug; run_release; run_asan; run_tsan ;;
-  *) echo "unknown suite: ${suite} (debug|release|asan|tsan|all)" >&2; exit 2 ;;
+  no-tsan) run_lint; run_debug; run_release; run_asan; run_ubsan ;;
+  all) run_lint; run_debug; run_release; run_asan; run_ubsan; run_tsan ;;
 esac
 
 echo "== check.sh: OK =="

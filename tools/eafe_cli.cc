@@ -4,13 +4,13 @@
 //   eafe pretrain --out model.txt [--public 10] [--scheme ccws]
 //       Pre-train an FPE model (synthetic public collection) and save it.
 //
-//   eafe search --data train.csv --label target --task classification \
+//   eafe search --data train.csv --label target --task classification
 //               [--model model.txt] [--method eafe|nfs|random]
 //               [--downstream rf|gbdt|...] [--epochs 10]
 //               [--out engineered.csv]
 //       Run AFE on a CSV dataset; optionally write the engineered table.
 //
-//   eafe evaluate --data train.csv --label target --task classification \
+//   eafe evaluate --data train.csv --label target --task classification
 //                 [--downstream rf|gbdt|svm|nb_gp|mlp|resnet]
 //       Cross-validated downstream score of a dataset as-is.
 //

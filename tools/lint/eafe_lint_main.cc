@@ -1,0 +1,60 @@
+// eafe_lint — repository invariant checker (see tools/lint/lint.h for the
+// rules and why each exists). Exit codes: 0 clean, 1 findings, 2 usage/IO.
+//
+//   eafe_lint [--root <repo>]   lint a checkout (default: cwd)
+//   eafe_lint --list-rules      print rule ids and one-line summaries
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: eafe_lint [--root <repo>] | eafe_lint --list-rules\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      std::printf(
+          "determinism      no rand()/std::random_device/time()/system_clock "
+          "in src/ (seed entry point: src/core/rng.cc)\n"
+          "raw-thread       no std::thread/std::jthread/std::async/"
+          "pthread_create outside src/runtime/\n"
+          "test-labels      every eafe_add_test is labeled; concurrency tests "
+          "carry `tsan`\n"
+          "cache-signature  every EvaluatorOptions field reaches "
+          "EvaluationSignature()\n");
+      return 0;
+    } else {
+      return Usage();
+    }
+  }
+
+  std::string error;
+  const auto findings = eafe::lint::LintRepository(root, &error);
+  if (!findings.has_value()) {
+    std::fprintf(stderr, "eafe_lint: %s\n", error.c_str());
+    return 2;
+  }
+  for (const eafe::lint::Finding& finding : *findings) {
+    std::printf("%s\n", finding.ToString().c_str());
+  }
+  if (!findings->empty()) {
+    std::fprintf(stderr, "eafe_lint: %zu finding(s)\n", findings->size());
+    return 1;
+  }
+  std::printf("eafe_lint: clean\n");
+  return 0;
+}

@@ -1,0 +1,630 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace eafe::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Lines carrying `eafe-lint: allow(<rule>[, <rule>...])` for `rule`.
+// Scanned on the raw source (the directive lives in a comment, which the
+// stripper erases), so it must run before StripCommentsAndStrings.
+std::set<size_t> AllowedLines(const std::string& source,
+                              const std::string& rule) {
+  std::set<size_t> lines;
+  size_t line = 1;
+  size_t line_start = 0;
+  for (size_t i = 0; i <= source.size(); ++i) {
+    if (i == source.size() || source[i] == '\n') {
+      const std::string text = source.substr(line_start, i - line_start);
+      const size_t at = text.find("eafe-lint: allow(");
+      if (at != std::string::npos) {
+        const size_t open = text.find('(', at);
+        const size_t close = text.find(')', open);
+        if (close != std::string::npos) {
+          std::string list = text.substr(open + 1, close - open - 1);
+          std::replace(list.begin(), list.end(), ',', ' ');
+          std::istringstream parts(list);
+          std::string token;
+          while (parts >> token) {
+            if (token == rule) lines.insert(line);
+          }
+        }
+      }
+      line_start = i + 1;
+      ++line;
+    }
+  }
+  return lines;
+}
+
+// An identifier token in comment/string-stripped source.
+struct Ident {
+  std::string text;
+  size_t line = 0;   // 1-based
+  size_t begin = 0;  // byte offset of first char
+  size_t end = 0;    // one past last char
+  char prev = '\0';  // previous non-whitespace char ('\0' at start of file)
+};
+
+std::vector<Ident> Identifiers(const std::string& text) {
+  std::vector<Ident> idents;
+  size_t line = 1;
+  char prev = '\0';
+  for (size_t i = 0; i < text.size();) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (IsIdentChar(c) && std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      Ident ident;
+      ident.line = line;
+      ident.begin = i;
+      ident.prev = prev;
+      while (i < text.size() && IsIdentChar(text[i])) ++i;
+      ident.end = i;
+      ident.text = text.substr(ident.begin, ident.end - ident.begin);
+      idents.push_back(std::move(ident));
+      prev = 'a';  // any identifier char stands in for "identifier before"
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) prev = c;
+    ++i;
+  }
+  return idents;
+}
+
+char NextNonSpace(const std::string& text, size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+  return pos < text.size() ? text[pos] : '\0';
+}
+
+// True when the identifier ending at `end` is followed (modulo whitespace)
+// by `suffix`, e.g. "::hardware_concurrency".
+bool FollowedBy(const std::string& text, size_t end,
+                const std::string& suffix) {
+  size_t pos = end;
+  for (char expected : suffix) {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+    if (pos >= text.size() || text[pos] != expected) return false;
+    ++pos;
+  }
+  // The suffix must end on an identifier boundary.
+  return pos >= text.size() || !IsIdentChar(text[pos]) ||
+         !IsIdentChar(suffix.back());
+}
+
+std::optional<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+std::string Finding::ToString() const {
+  std::ostringstream out;
+  if (!file.empty()) {
+    out << file << ":";
+    if (line > 0) out << line << ":";
+    out << " ";
+  }
+  out << "[" << rule << "] " << message;
+  return out.str();
+}
+
+std::string StripCommentsAndStrings(const std::string& source) {
+  std::string out = source;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          // Raw string literal R"delim( ... )delim" — blank to the close.
+          if (i > 0 && out[i - 1] == 'R' &&
+              (i < 2 || !IsIdentChar(out[i - 2]))) {
+            size_t open = out.find('(', i + 1);
+            if (open == std::string::npos) break;
+            const std::string delim = out.substr(i + 1, open - i - 1);
+            const std::string close = ")" + delim + "\"";
+            size_t stop = out.find(close, open + 1);
+            if (stop == std::string::npos) stop = out.size();
+            for (size_t j = i; j < std::min(stop + close.size(), out.size());
+                 ++j) {
+              if (out[j] != '\n') out[j] = ' ';
+            }
+            i = std::min(stop + close.size(), out.size()) - 1;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          // Skip digit separators (1'000'000) — not a char literal.
+          if (i > 0 && std::isdigit(static_cast<unsigned char>(out[i - 1]))) {
+            break;
+          }
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < out.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < out.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> CheckDeterminism(const std::string& path,
+                                      const std::string& source) {
+  // The one allowlisted seed entry point: if ambient entropy is ever
+  // needed, it is read here, converted to an explicit uint64 seed, and
+  // logged — never consumed anywhere else.
+  if (path == "src/core/rng.cc") return {};
+  static const std::unordered_set<std::string> kBanned = {
+      "rand",          "srand",         "drand48",     "random_device",
+      "system_clock",  "gettimeofday",  "clock_gettime"};
+  const std::set<size_t> allowed = AllowedLines(source, kRuleDeterminism);
+  const std::string stripped = StripCommentsAndStrings(source);
+  std::vector<Finding> findings;
+  for (const Ident& ident : Identifiers(stripped)) {
+    bool bad = false;
+    if (kBanned.count(ident.text) > 0) {
+      bad = true;
+    } else if (ident.text == "time") {
+      // Bare time(...) / std::time(...) — member accesses like
+      // sample.time(...) are someone else's deterministic accessor.
+      bad = NextNonSpace(stripped, ident.end) == '(' && ident.prev != '.' &&
+            ident.prev != '>' && ident.prev != 'a';
+    }
+    if (!bad || allowed.count(ident.line) > 0) continue;
+    Finding finding;
+    finding.file = path;
+    finding.line = ident.line;
+    finding.rule = kRuleDeterminism;
+    finding.message =
+        "'" + ident.text +
+        "' reads ambient entropy or wall-clock state; results must be "
+        "bit-identical for a given seed at any --threads. Draw randomness "
+        "from eafe::Rng (seeded explicitly) instead, or append "
+        "'// eafe-lint: allow(determinism)' with a justification.";
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckRawThreads(const std::string& path,
+                                     const std::string& source) {
+  if (path.rfind("src/runtime/", 0) == 0) return {};
+  const std::set<size_t> allowed = AllowedLines(source, kRuleRawThread);
+  const std::string stripped = StripCommentsAndStrings(source);
+  std::vector<Finding> findings;
+  const std::vector<Ident> idents = Identifiers(stripped);
+  for (size_t i = 0; i < idents.size(); ++i) {
+    const Ident& ident = idents[i];
+    std::string spelled;
+    if (ident.text == "std" && i + 1 < idents.size() &&
+        FollowedBy(stripped, ident.end, "::")) {
+      const Ident& member = idents[i + 1];
+      if (member.text == "thread" || member.text == "jthread" ||
+          member.text == "async") {
+        // std::thread::hardware_concurrency() is metadata, not a thread.
+        if (member.text == "thread" &&
+            FollowedBy(stripped, member.end, "::hardware_concurrency")) {
+          continue;
+        }
+        spelled = "std::" + member.text;
+      }
+    } else if (ident.text == "pthread_create") {
+      spelled = ident.text;
+    }
+    if (spelled.empty() || allowed.count(ident.line) > 0) continue;
+    Finding finding;
+    finding.file = path;
+    finding.line = ident.line;
+    finding.rule = kRuleRawThread;
+    finding.message =
+        "'" + spelled +
+        "' spawns threads outside src/runtime/. All parallelism goes "
+        "through runtime::ThreadPool / runtime::ParallelFor so the TSan "
+        "suite and the determinism tests cover it; use those, or append "
+        "'// eafe-lint: allow(raw-thread)' with a justification.";
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+std::vector<TestRegistration> ParseTestRegistrations(
+    const std::string& cmake_source) {
+  // Blank out # comments (CMake has no block comments we use).
+  std::string text = cmake_source;
+  bool in_comment = false;
+  for (char& c : text) {
+    if (c == '\n') {
+      in_comment = false;
+    } else if (c == '#') {
+      in_comment = true;
+    }
+    if (in_comment) c = ' ';
+  }
+
+  std::vector<TestRegistration> tests;
+  size_t line = 1;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      continue;
+    }
+    if (text.compare(i, 14, "eafe_add_test(") != 0 ||
+        (i > 0 && IsIdentChar(text[i - 1]))) {
+      continue;
+    }
+    TestRegistration test;
+    test.line = line;
+    size_t pos = i + 14;
+    size_t depth = 1;
+    std::vector<std::string> tokens;
+    std::string current;
+    bool quoted = false;
+    size_t token_line = line;
+    for (; pos < text.size() && depth > 0; ++pos) {
+      const char c = text[pos];
+      if (c == '\n') ++token_line;
+      if (quoted) {
+        if (c == '"') {
+          quoted = false;
+          tokens.push_back(current);
+          current.clear();
+        } else {
+          current += c;
+        }
+        continue;
+      }
+      if (c == '"') {
+        quoted = true;
+      } else if (c == '(') {
+        ++depth;
+      } else if (c == ')') {
+        --depth;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        if (!current.empty()) {
+          tokens.push_back(current);
+          current.clear();
+        }
+      } else {
+        current += c;
+      }
+    }
+    if (!current.empty()) tokens.push_back(current);
+    enum class Mode { kName, kNone, kLabels, kSources };
+    Mode mode = Mode::kName;
+    for (const std::string& token : tokens) {
+      if (token == "LABELS") {
+        mode = Mode::kLabels;
+      } else if (token == "SOURCES") {
+        mode = Mode::kSources;
+      } else if (mode == Mode::kName) {
+        test.name = token;
+        mode = Mode::kNone;
+      } else if (mode == Mode::kLabels) {
+        // Quoted label lists use CMake's ';' separator: "ml;tsan".
+        std::string labels = token;
+        std::replace(labels.begin(), labels.end(), ';', ' ');
+        std::istringstream parts(labels);
+        std::string label;
+        while (parts >> label) test.labels.push_back(label);
+      } else if (mode == Mode::kSources) {
+        test.sources.push_back(token);
+      }
+    }
+    tests.push_back(std::move(test));
+    line = token_line;
+    i = pos - 1;
+  }
+  return tests;
+}
+
+std::vector<Finding> CheckTestLabels(
+    const std::vector<TestRegistration>& tests,
+    const std::function<std::optional<std::string>(const std::string&)>&
+        read_source) {
+  static const std::vector<std::string> kConcurrencyTokens = {
+      "ParallelFor", "ThreadPool", "EvalService"};
+  std::vector<Finding> findings;
+  for (const TestRegistration& test : tests) {
+    if (test.labels.empty()) {
+      Finding finding;
+      finding.file = "tests/CMakeLists.txt";
+      finding.line = test.line;
+      finding.rule = kRuleTestLabels;
+      finding.message =
+          "eafe_add_test(" + test.name +
+          ") carries no LABELS; labels drive suite selection in "
+          "tools/check.sh (e.g. LABELS ml, or \"ml;tsan\").";
+      findings.push_back(std::move(finding));
+    }
+    const bool has_tsan =
+        std::find(test.labels.begin(), test.labels.end(), "tsan") !=
+        test.labels.end();
+    if (has_tsan) continue;
+    for (const std::string& source_path : test.sources) {
+      const std::optional<std::string> source = read_source(source_path);
+      if (!source.has_value()) {
+        Finding finding;
+        finding.file = "tests/CMakeLists.txt";
+        finding.line = test.line;
+        finding.rule = kRuleTestLabels;
+        finding.message = "eafe_add_test(" + test.name +
+                          ") lists unreadable source '" + source_path + "'.";
+        findings.push_back(std::move(finding));
+        continue;
+      }
+      const std::string stripped = StripCommentsAndStrings(*source);
+      std::string hit;
+      for (const Ident& ident : Identifiers(stripped)) {
+        if (std::find(kConcurrencyTokens.begin(), kConcurrencyTokens.end(),
+                      ident.text) != kConcurrencyTokens.end()) {
+          hit = ident.text;
+          break;
+        }
+      }
+      if (hit.empty()) continue;
+      Finding finding;
+      finding.file = "tests/CMakeLists.txt";
+      finding.line = test.line;
+      finding.rule = kRuleTestLabels;
+      finding.message =
+          "eafe_add_test(" + test.name + "): source '" + source_path +
+          "' references " + hit +
+          " but the test is not labeled `tsan`; the ThreadSanitizer suite "
+          "discovers its targets by that label, so this test would never "
+          "run under TSan. Add LABELS \"...;tsan\".";
+      findings.push_back(std::move(finding));
+      break;  // one finding per test is enough to point at the fix
+    }
+  }
+  return findings;
+}
+
+std::vector<std::string> ParseEvaluatorOptionsFields(
+    const std::string& evaluator_header) {
+  const std::string stripped = StripCommentsAndStrings(evaluator_header);
+  const size_t struct_at = stripped.find("struct EvaluatorOptions");
+  if (struct_at == std::string::npos) return {};
+  const size_t open = stripped.find('{', struct_at);
+  if (open == std::string::npos) return {};
+  std::vector<std::string> fields;
+  size_t depth = 1;
+  std::string statement;
+  for (size_t i = open + 1; i < stripped.size() && depth > 0; ++i) {
+    const char c = stripped[i];
+    if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+    } else if (c == ';' && depth == 1) {
+      // A data member: no parens (functions/ctors have them), name is the
+      // identifier before '=' or the trailing identifier.
+      const size_t eq = statement.find('=');
+      std::string decl =
+          eq == std::string::npos ? statement : statement.substr(0, eq);
+      if (decl.find('(') == std::string::npos &&
+          decl.find("using") == std::string::npos) {
+        std::string name;
+        std::string token;
+        for (size_t j = 0; j <= decl.size(); ++j) {
+          if (j < decl.size() && IsIdentChar(decl[j])) {
+            token += decl[j];
+          } else if (!token.empty()) {
+            name = token;
+            token.clear();
+          }
+        }
+        if (!name.empty()) fields.push_back(name);
+      }
+      statement.clear();
+      continue;
+    }
+    if (depth == 1) statement += c;
+  }
+  return fields;
+}
+
+std::vector<Finding> CheckCacheSignature(
+    const std::string& evaluator_header,
+    const std::string& eval_service_source) {
+  const std::vector<std::string> fields =
+      ParseEvaluatorOptionsFields(evaluator_header);
+  std::vector<Finding> findings;
+  if (fields.empty()) {
+    Finding finding;
+    finding.file = "src/ml/evaluator.h";
+    finding.rule = kRuleCacheSignature;
+    finding.message =
+        "could not parse any fields out of `struct EvaluatorOptions`; the "
+        "cache-signature rule has nothing to check (was the struct renamed?).";
+    findings.push_back(std::move(finding));
+    return findings;
+  }
+  const std::string stripped = StripCommentsAndStrings(eval_service_source);
+  const std::vector<Ident> idents = Identifiers(stripped);
+  // Anchor the report at the signature builder itself.
+  size_t signature_line = 0;
+  std::unordered_set<std::string> covered;
+  for (size_t i = 0; i + 1 < idents.size(); ++i) {
+    if (idents[i].text == "EvaluationSignature" && signature_line == 0) {
+      signature_line = idents[i].line;
+    }
+    if (idents[i].text == "options" &&
+        NextNonSpace(stripped, idents[i].end) == '.' &&
+        idents[i + 1].prev == '.') {
+      covered.insert(idents[i + 1].text);
+    }
+  }
+  for (const std::string& field : fields) {
+    if (covered.count(field) > 0) continue;
+    Finding finding;
+    finding.file = "src/afe/eval_service.cc";
+    finding.line = signature_line;
+    finding.rule = kRuleCacheSignature;
+    finding.message =
+        "EvaluatorOptions::" + field +
+        " is never mixed into EvaluationSignature(). Every option knob "
+        "must reach the signature (hashing::MixHash / std::bit_cast for "
+        "doubles), or two configurations differing only in `" + field +
+        "` would silently share cached scores.";
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+std::optional<std::vector<Finding>> LintRepository(const std::string& root,
+                                                   std::string* error) {
+  const fs::path base(root);
+  const fs::path src = base / "src";
+  const fs::path evaluator_header = base / "src" / "ml" / "evaluator.h";
+  const fs::path eval_service = base / "src" / "afe" / "eval_service.cc";
+  const fs::path tests_cmake = base / "tests" / "CMakeLists.txt";
+  for (const fs::path& anchor : {src, evaluator_header, eval_service,
+                                 tests_cmake}) {
+    if (!fs::exists(anchor)) {
+      if (error != nullptr) {
+        *error = "not a lintable eafe checkout: missing " + anchor.string() +
+                 " (pass --root <repo>)";
+      }
+      return std::nullopt;
+    }
+  }
+
+  std::vector<Finding> findings;
+
+  // Source rules over every C++ file under src/ (sorted for determinism).
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    const std::optional<std::string> source = ReadFile(file);
+    if (!source.has_value()) {
+      if (error != nullptr) *error = "unreadable file: " + file.string();
+      return std::nullopt;
+    }
+    const std::string relative =
+        fs::relative(file, base).generic_string();
+    for (auto* check : {&CheckDeterminism, &CheckRawThreads}) {
+      std::vector<Finding> found = (*check)(relative, *source);
+      findings.insert(findings.end(),
+                      std::make_move_iterator(found.begin()),
+                      std::make_move_iterator(found.end()));
+    }
+  }
+
+  // Test-label rule over tests/CMakeLists.txt.
+  const std::optional<std::string> cmake_source = ReadFile(tests_cmake);
+  if (!cmake_source.has_value()) {
+    if (error != nullptr) *error = "unreadable file: " + tests_cmake.string();
+    return std::nullopt;
+  }
+  std::vector<Finding> label_findings = CheckTestLabels(
+      ParseTestRegistrations(*cmake_source),
+      [&base](const std::string& path) {
+        return ReadFile(base / "tests" / path);
+      });
+  findings.insert(findings.end(),
+                  std::make_move_iterator(label_findings.begin()),
+                  std::make_move_iterator(label_findings.end()));
+
+  // Cache-signature rule over the evaluator header + signature builder.
+  const std::optional<std::string> header = ReadFile(evaluator_header);
+  const std::optional<std::string> service = ReadFile(eval_service);
+  if (!header.has_value() || !service.has_value()) {
+    if (error != nullptr) *error = "unreadable evaluator/eval_service source";
+    return std::nullopt;
+  }
+  std::vector<Finding> signature_findings =
+      CheckCacheSignature(*header, *service);
+  findings.insert(findings.end(),
+                  std::make_move_iterator(signature_findings.begin()),
+                  std::make_move_iterator(signature_findings.end()));
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return findings;
+}
+
+}  // namespace eafe::lint

@@ -1,0 +1,127 @@
+#ifndef EAFE_TOOLS_LINT_LINT_H_
+#define EAFE_TOOLS_LINT_LINT_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+// eafe_lint: project-invariant checker.
+//
+// The repository's correctness story rests on two contracts that ordinary
+// compilers cannot see:
+//
+//   * determinism — every run is bit-identical at any --threads, which is
+//     only true while all randomness flows through eafe::Rng from an
+//     explicit seed and no wall-clock leaks into results;
+//   * cache safety — the eval-service score cache keys on an evaluation
+//     signature, which is only sound while *every* EvaluatorOptions knob is
+//     mixed into that signature.
+//
+// These rules enforce both mechanically on every commit (tools/check.sh
+// --suite lint, CI `lint` job). Each rule can be silenced on a single line
+// with `// eafe-lint: allow(<rule>)` — the escape is part of the diff and
+// shows up in review, unlike a silently-missing invariant.
+
+namespace eafe::lint {
+
+struct Finding {
+  std::string file;     // repo-relative path ("" for repo-level findings)
+  size_t line = 0;      // 1-based; 0 when the finding is not line-anchored
+  std::string rule;     // rule id, e.g. "determinism"
+  std::string message;  // pointed, actionable description
+
+  std::string ToString() const;
+};
+
+// Rule ids (also the tokens accepted by `eafe-lint: allow(...)`).
+inline constexpr char kRuleDeterminism[] = "determinism";
+inline constexpr char kRuleRawThread[] = "raw-thread";
+inline constexpr char kRuleTestLabels[] = "test-labels";
+inline constexpr char kRuleCacheSignature[] = "cache-signature";
+
+// Replaces the bodies of //- and /* */-comments and string/char literals
+// with spaces, preserving newlines so byte offsets keep their line numbers.
+// Run before token matching so prose mentioning std::thread can't fire.
+std::string StripCommentsAndStrings(const std::string& source);
+
+// ---------------------------------------------------------------------------
+// Rule: determinism
+//
+// src/ must not read ambient entropy or wall-clock state: rand/srand/
+// drand48, std::random_device, time()/std::time, gettimeofday, and
+// std::chrono::system_clock are banned. Seeds enter through eafe::Rng
+// (src/core/rng.cc is the allowlisted seed entry point); monotonic
+// steady_clock timing (core/stopwatch.h) is fine because it never feeds
+// results.
+std::vector<Finding> CheckDeterminism(const std::string& path,
+                                      const std::string& source);
+
+// ---------------------------------------------------------------------------
+// Rule: raw-thread
+//
+// src/ outside src/runtime/ must not spawn threads directly (std::thread,
+// std::jthread, std::async, pthread_create): all parallelism goes through
+// runtime::ThreadPool/ParallelFor so the determinism tests cover it and
+// nested fan-out degrades to inline execution instead of oversubscription.
+// std::thread::hardware_concurrency() is metadata, not a thread, and is
+// exempt.
+std::vector<Finding> CheckRawThreads(const std::string& path,
+                                     const std::string& source);
+
+// ---------------------------------------------------------------------------
+// Rule: test-labels
+//
+// Every eafe_add_test() in tests/CMakeLists.txt must carry at least one
+// label (labels drive suite selection in tools/check.sh), and any test
+// whose sources touch the concurrency surface (ParallelFor, ThreadPool,
+// EvalService) must carry `tsan` so the ThreadSanitizer suite picks it up
+// automatically.
+
+struct TestRegistration {
+  std::string name;
+  size_t line = 0;  // 1-based line of the eafe_add_test( call
+  std::vector<std::string> labels;
+  std::vector<std::string> sources;  // as written, relative to tests/
+};
+
+// Parses eafe_add_test(name LABELS ... SOURCES ...) calls out of
+// tests/CMakeLists.txt (comments stripped; quoted "a;b" label lists split).
+std::vector<TestRegistration> ParseTestRegistrations(
+    const std::string& cmake_source);
+
+// `read_source` maps a SOURCES entry to that file's content, or nullopt if
+// unreadable (unreadable files are themselves findings).
+std::vector<Finding> CheckTestLabels(
+    const std::vector<TestRegistration>& tests,
+    const std::function<std::optional<std::string>(const std::string&)>&
+        read_source);
+
+// ---------------------------------------------------------------------------
+// Rule: cache-signature
+//
+// Every field of ml::EvaluatorOptions (src/ml/evaluator.h) must be mixed
+// into EvaluationSignature (src/afe/eval_service.cc). A knob that changes
+// scores but not the signature would silently alias cached results across
+// configurations — the exact bug class this rule exists to prevent.
+
+// Field names of `struct EvaluatorOptions` parsed from the header.
+std::vector<std::string> ParseEvaluatorOptionsFields(
+    const std::string& evaluator_header);
+
+std::vector<Finding> CheckCacheSignature(
+    const std::string& evaluator_header,
+    const std::string& eval_service_source);
+
+// ---------------------------------------------------------------------------
+// Driver: runs every rule over a repository checkout. Findings are sorted
+// by (file, line, rule) and deterministic. `error` receives a message and
+// returns nullopt findings if the tree is not lintable (missing anchor
+// files such as src/ml/evaluator.h).
+std::optional<std::vector<Finding>> LintRepository(const std::string& root,
+                                                   std::string* error);
+
+}  // namespace eafe::lint
+
+#endif  // EAFE_TOOLS_LINT_LINT_H_

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# One-command clang-tidy pass over the repository's first-party sources,
+# using the compile_commands.json a configure exports by default
+# (CMAKE_EXPORT_COMPILE_COMMANDS=ON). Checks and rationale live in
+# .clang-tidy; WarningsAsErrors there makes any finding a non-zero exit.
+#
+# Usage:
+#   tools/run_clang_tidy.sh [build-dir]     # default: <repo>/build
+#
+# Called by tools/check.sh --suite lint when clang-tidy is installed, and
+# by the CI `lint` job (which installs it).
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-${root}/build}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy not found; install it (e.g. apt-get install clang-tidy)" >&2
+  exit 2
+fi
+
+if [[ ! -f "${build}/compile_commands.json" ]]; then
+  echo "no compile_commands.json in ${build}; configuring..." >&2
+  cmake -B "${build}" -S "${root}" >/dev/null
+fi
+
+# First-party translation units from the compile database, skipping
+# generated/third-party entries (none today, but cheap insurance).
+mapfile -t files < <(
+  sed -n 's/^ *"file": "\(.*\)",\{0,1\}$/\1/p' \
+      "${build}/compile_commands.json" |
+    grep -E "^${root}/(src|tools|tests|bench|examples)/" |
+    sort -u
+)
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "no first-party sources found in ${build}/compile_commands.json" >&2
+  exit 2
+fi
+
+echo "clang-tidy over ${#files[@]} translation units (${jobs} jobs)..."
+printf '%s\n' "${files[@]}" |
+  xargs -P "${jobs}" -n 8 clang-tidy -p "${build}" --quiet
+echo "clang-tidy: clean"
