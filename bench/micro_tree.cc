@@ -22,7 +22,16 @@
 //   {"bench": "forest_predict", ..., "mode": "coded",
 //    "predict_seconds": ..., "speedup_vs_double": ...}
 //
-// A third grid benchmarks the gradient booster through the same shapes —
+// A third grid benchmarks the serving engine: batch predict through the
+// flat arrays of a save→load round trip (serve/flat_predictor.h) vs the
+// in-memory pointer-tree PredictCoded over the same 50-tree forest. The
+// pair is asserted bit-identical; the acceptance row is speedup_vs_coded
+// at rows >= 10k:
+//
+//   {"bench": "flat_predict", ..., "mode": "flat", "seconds": ...,
+//    "speedup_vs_coded": ...}
+//
+// A fourth grid benchmarks the gradient booster through the same shapes —
 // fit and predict, with the shared-binner forest as the cost reference
 // for the evaluator matrix:
 //
@@ -57,6 +66,8 @@
 #include "ml/metrics.h"
 #include "ml/random_forest.h"
 #include "runtime/thread_pool.h"
+#include "serve/flat_predictor.h"
+#include "serve/model_store.h"
 
 namespace eafe::bench {
 namespace {
@@ -240,6 +251,59 @@ FitResult TimeGbdtPredict(const data::Dataset& dataset, size_t reps) {
   return result;
 }
 
+/// Serving-engine comparison: one forest (50 trees, so traversal — not
+/// query encoding — dominates the batch), predicted through the in-memory
+/// pointer trees (PredictCoded) vs the flat engine after a full
+/// serialize→deserialize round trip. The pair must agree bit for bit;
+/// the timing delta is the flat layout's win (16-byte packed nodes,
+/// row-major query codes, branchless encode).
+struct FlatPair {
+  FitResult coded;
+  FitResult flat;
+  bool identical = false;
+};
+
+FlatPair TimeFlatVsCoded(const data::Dataset& dataset, size_t num_trees,
+                         size_t reps) {
+  ml::RandomForest::Options options;
+  options.task = dataset.task;
+  options.num_trees = num_trees;
+  options.coded_predict = true;
+  ml::RandomForest forest(options);
+  const Status fitted = forest.Fit(dataset.features, dataset.labels);
+  EAFE_CHECK_MSG(fitted.ok(), fitted.ToString().c_str());
+
+  auto bytes = serve::SerializeForest(forest);
+  EAFE_CHECK_MSG(bytes.ok(), bytes.status().ToString().c_str());
+  auto loaded = serve::DeserializeModel(bytes.ValueOrDie());
+  EAFE_CHECK_MSG(loaded.ok(), loaded.status().ToString().c_str());
+  auto predictor = serve::FlatPredictor::Create(*loaded->tree);
+  EAFE_CHECK_MSG(predictor.ok(), predictor.status().ToString().c_str());
+
+  FlatPair pair;
+  std::vector<double> coded_pred, flat_pred;
+  for (size_t r = 0; r < reps; ++r) {
+    Stopwatch timer;
+    auto predicted = forest.Predict(dataset.features);
+    const double seconds = timer.ElapsedSeconds();
+    EAFE_CHECK(predicted.ok());
+    if (r == 0 || seconds < pair.coded.seconds) pair.coded.seconds = seconds;
+    if (r == 0) coded_pred = std::move(predicted).ValueOrDie();
+  }
+  for (size_t r = 0; r < reps; ++r) {
+    Stopwatch timer;
+    auto predicted = predictor.ValueOrDie().Predict(dataset.features);
+    const double seconds = timer.ElapsedSeconds();
+    EAFE_CHECK(predicted.ok());
+    if (r == 0 || seconds < pair.flat.seconds) pair.flat.seconds = seconds;
+    if (r == 0) flat_pred = std::move(predicted).ValueOrDie();
+  }
+  pair.coded.score = ml::TaskScore(dataset.task, dataset.labels, coded_pred);
+  pair.flat.score = ml::TaskScore(dataset.task, dataset.labels, flat_pred);
+  pair.identical = coded_pred == flat_pred;
+  return pair;
+}
+
 void PrintLine(const data::Dataset& dataset, size_t features,
                ml::SplitStrategy strategy, const FitResult& result,
                double exact_seconds) {
@@ -322,6 +386,26 @@ int RunGrid(bool full, uint64_t seed) {
                       "speedup_vs_double", raw, raw.seconds);
       PrintForestLine("forest_predict", dataset, shape.features, "coded",
                       "speedup_vs_double", coded, raw.seconds);
+    }
+  }
+  // Serving-engine deltas: flat batch predict vs the in-memory
+  // pointer-tree PredictCoded over the same fitted forest, after a full
+  // container round trip. The acceptance row is speedup_vs_coded at
+  // rows >= 10k.
+  for (data::TaskType task : {data::TaskType::kClassification,
+                              data::TaskType::kRegression}) {
+    for (const Shape& shape : shapes) {
+      const data::Dataset dataset =
+          MakeTable(task, shape.rows, shape.features, seed);
+      const size_t reps = shape.rows <= 1000 ? 3 : 2;
+      const FlatPair pair =
+          TimeFlatVsCoded(dataset, /*num_trees=*/50, reps);
+      EAFE_CHECK_MSG(pair.identical,
+                     "flat and coded predictions disagree");
+      PrintForestLine("flat_predict", dataset, shape.features, "coded",
+                      "speedup_vs_coded", pair.coded, pair.coded.seconds);
+      PrintForestLine("flat_predict", dataset, shape.features, "flat",
+                      "speedup_vs_coded", pair.flat, pair.coded.seconds);
     }
   }
   // Booster fit/predict with the shared-binner forest as the cost
@@ -430,6 +514,34 @@ int RunSmoke(uint64_t seed) {
   const double predict_speedup =
       coded.seconds > 0.0 ? raw.seconds / coded.seconds : 0.0;
 
+  // Serving gate: a full save→load→predict round trip must be
+  // bit-identical to the in-memory coded path, and the flat engine must
+  // not lose to the pointer trees (the acceptance target is >= 1.2x on
+  // the traversal-heavy 50-tree batch; the gate asserts a conservative
+  // 1.05x so shared CI hardware doesn't flake).
+  const FlatPair flat_pair = TimeFlatVsCoded(dataset, /*num_trees=*/50, 3);
+  PrintForestLine("flat_predict", dataset, 16, "coded", "speedup_vs_coded",
+                  flat_pair.coded, flat_pair.coded.seconds);
+  PrintForestLine("flat_predict", dataset, 16, "flat", "speedup_vs_coded",
+                  flat_pair.flat, flat_pair.coded.seconds);
+  if (!flat_pair.identical) {
+    std::fprintf(stderr,
+                 "smoke FAILED: flat round-trip predictions disagree with "
+                 "the coded path\n");
+    return 1;
+  }
+  const double flat_speedup = flat_pair.flat.seconds > 0.0
+                                  ? flat_pair.coded.seconds /
+                                        flat_pair.flat.seconds
+                                  : 0.0;
+  if (flat_speedup < 1.05) {
+    std::fprintf(stderr,
+                 "smoke FAILED: flat predict speedup %.2fx < 1.05x over "
+                 "coded pointer trees\n",
+                 flat_speedup);
+    return 1;
+  }
+
   // Booster gates are correctness-only (timing ratios are reported, not
   // gated, so shared CI hardware doesn't flake): a whole fit bins the
   // frame exactly once by counter, a refit is bit-identical, and the
@@ -465,10 +577,12 @@ int RunSmoke(uint64_t seed) {
   std::fprintf(stderr,
                "smoke OK: tree %.2fx vs exact (score delta %.4f), forest "
                "fit %.2fx shared-vs-per-tree, predict %.2fx "
-               "coded-vs-double, gbdt score %.4f at %.2fx forest-fit "
+               "coded-vs-double, flat serve %.2fx vs coded (round trip "
+               "bit-identical), gbdt score %.4f at %.2fx forest-fit "
                "speed\n",
                speedup, std::fabs(histogram.score - exact.score),
-               fit_speedup, predict_speedup, gbdt.score, gbdt_vs_forest);
+               fit_speedup, predict_speedup, flat_speedup, gbdt.score,
+               gbdt_vs_forest);
   return 0;
 }
 

@@ -165,6 +165,27 @@ Status FpeModel::RestoreLogistic(ml::LogisticRegression classifier) {
   return Status::OK();
 }
 
+Status FpeModel::RestoreMlp(ml::Mlp classifier) {
+  if (options_.classifier != ClassifierKind::kMlp) {
+    return Status::FailedPrecondition(
+        "RestoreMlp requires the MLP classifier kind");
+  }
+  if (!classifier.fitted()) {
+    return Status::InvalidArgument("restored classifier is not fitted");
+  }
+  if (classifier.task() != data::TaskType::kClassification) {
+    return Status::InvalidArgument(
+        "the FPE classifier must be a classification MLP");
+  }
+  if (classifier.num_features() != InputDimension()) {
+    return Status::InvalidArgument(
+        "classifier input width disagrees with compressor signature size");
+  }
+  mlp_ = std::move(classifier);
+  trained_ = true;
+  return Status::OK();
+}
+
 Result<double> FpeModel::PredictProbability(
     const std::vector<double>& values) const {
   if (!trained_) return Status::FailedPrecondition("FPE model not trained");

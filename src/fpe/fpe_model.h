@@ -73,13 +73,18 @@ class FpeModel {
   /// Width of the classifier's input vector under the current options.
   size_t InputDimension() const;
 
-  // Persistence support (fpe/serialization.h); logistic classifier only.
+  // Persistence support. The text v1 codec (fpe/serialization.h) covers
+  // logistic models; the binary container (src/serve/model_store.h)
+  // additionally serializes MLP-backed models.
   const ml::LogisticRegression& logistic_classifier() const {
     return logistic_;
   }
+  const ml::Mlp& mlp_classifier() const { return mlp_; }
   /// Marks the model trained with a restored classifier. The options
   /// (including the compressor) must already describe the saved model.
   Status RestoreLogistic(ml::LogisticRegression classifier);
+  /// Counterpart of RestoreLogistic for the MLP classifier kind.
+  Status RestoreMlp(ml::Mlp classifier);
 
  private:
   /// The classifier input vector for one feature column.

@@ -53,7 +53,8 @@ Result<std::string> SerializeFpeModel(const FpeModel& model) {
   }
   if (model.options().classifier != FpeModel::ClassifierKind::kLogistic) {
     return Status::NotImplemented(
-        "only logistic FPE classifiers are serializable");
+        "the v1 text format only covers logistic FPE classifiers; save "
+        "MLP-backed models through serve::SaveModel (binary container)");
   }
   const FpeModel::Options& options = model.options();
   const ml::LogisticRegression& classifier = model.logistic_classifier();

@@ -15,8 +15,12 @@ namespace eafe::fpe {
 ///
 /// The format is a line-oriented text file ("eafe-fpe-model v1" header,
 /// key/value lines, full-precision doubles), deliberately trivial to
-/// inspect and diff. Only the logistic classifier kind is serializable;
-/// Save returns NotImplemented for an MLP-backed model.
+/// inspect and diff. It is the *legacy* codec: only the logistic
+/// classifier kind is serializable here, and Save returns NotImplemented
+/// for an MLP-backed model. New code saves through the versioned binary
+/// container in src/serve/model_store.h, which covers logistic and MLP
+/// classifiers alike; serve::LoadModel still reads v1 text files, so
+/// existing saved models keep working.
 
 /// Serializes a trained model to a string.
 Result<std::string> SerializeFpeModel(const FpeModel& model);

@@ -485,6 +485,30 @@ Result<std::vector<double>> DecisionTree::PredictProba(
   return out;
 }
 
+Result<TreeNodes> DecisionTree::ExportNodes() const {
+  if (nodes_.empty()) {
+    return Status::FailedPrecondition("tree is not fitted");
+  }
+  if (binner_ == nullptr) {
+    return Status::FailedPrecondition(
+        "only histogram fits export nodes: exact trees carry no split bins "
+        "or binner cuts");
+  }
+  TreeNodes out(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& nd = nodes_[i];
+    TreeNodeRecord& rec = out[i];
+    rec.feature = nd.feature;
+    rec.split_bin =
+        nd.feature >= 0 ? static_cast<uint8_t>(nd.split_bin) : uint8_t{0};
+    rec.left = nd.left;
+    rec.right = nd.right;
+    rec.value = nd.value;
+    rec.proba = nd.proba;
+  }
+  return out;
+}
+
 size_t DecisionTree::TraverseToLeafCoded(const EncodedFrame& codes,
                                          size_t row) const {
   size_t node = 0;

@@ -11,6 +11,7 @@
 #include "data/dataframe.h"
 #include "ml/histogram_builder.h"
 #include "ml/model.h"
+#include "ml/tree_export.h"
 
 namespace eafe::ml {
 
@@ -102,6 +103,11 @@ class DecisionTree : public Model, public SharedBinnerModel {
   const std::shared_ptr<const FeatureBinner>& binner() const {
     return binner_;
   }
+
+  /// Flattens the fitted tree into persistence records (tree_export.h).
+  /// Histogram fits only: exact fits carry neither split bins nor a
+  /// binner, so they have no serializable form.
+  Result<TreeNodes> ExportNodes() const;
 
   size_t node_count() const { return nodes_.size(); }
   bool fitted() const { return !nodes_.empty(); }

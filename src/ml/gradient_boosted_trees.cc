@@ -259,6 +259,29 @@ int GradientBoostedTrees::BuildNode(const HistogramBuilder& builder,
   return node_id;
 }
 
+Result<std::vector<TreeNodes>> GradientBoostedTrees::ExportTrees() const {
+  if (trees_.empty()) {
+    return Status::FailedPrecondition("booster is not fitted");
+  }
+  EAFE_CHECK(binner_ != nullptr);  // Histogram-only: every fit has one.
+  std::vector<TreeNodes> out;
+  out.reserve(trees_.size());
+  for (const Tree& tree : trees_) {
+    TreeNodes nodes(tree.nodes.size());
+    for (size_t i = 0; i < tree.nodes.size(); ++i) {
+      const Node& nd = tree.nodes[i];
+      TreeNodeRecord& rec = nodes[i];
+      rec.feature = nd.feature;
+      rec.split_bin = nd.split_bin;
+      rec.left = nd.left;
+      rec.right = nd.right;
+      rec.value = nd.value;
+    }
+    out.push_back(std::move(nodes));
+  }
+  return out;
+}
+
 double GradientBoostedTrees::TraverseBinnedRow(const Tree& tree,
                                                size_t row) const {
   size_t node = 0;

@@ -11,6 +11,7 @@
 #include "ml/feature_binner.h"
 #include "ml/histogram_builder.h"
 #include "ml/model.h"
+#include "ml/tree_export.h"
 
 namespace eafe::ml {
 
@@ -71,7 +72,18 @@ class GradientBoostedTrees : public Model, public SharedBinnerModel {
   Result<std::vector<double>> PredictBinnedRows(
       const std::vector<size_t>& rows) const override;
 
+  /// Flattens every round's tree into persistence records
+  /// (tree_export.h). Leaf records carry the unscaled leaf weight in
+  /// `value`; prediction applies base_score and learning_rate on top.
+  Result<std::vector<TreeNodes>> ExportTrees() const;
+
+  /// The frame binner the booster trained through.
+  const std::shared_ptr<const FeatureBinner>& binner() const {
+    return binner_;
+  }
+
   size_t num_trees() const { return trees_.size(); }
+  size_t num_features() const { return num_features_; }
   double base_score() const { return base_score_; }
   const Options& options() const { return options_; }
 

@@ -177,6 +177,51 @@ Status Mlp::Fit(const data::DataFrame& x, const std::vector<double>& y) {
   return Status::OK();
 }
 
+Status Mlp::RestoreFitted(data::StandardScaler scaler,
+                          std::vector<Matrix> weights,
+                          std::vector<std::vector<double>> biases,
+                          double label_mean, double label_scale) {
+  if (weights.empty() || weights.size() != biases.size()) {
+    return Status::InvalidArgument(
+        "restored MLP needs matching, nonempty weight and bias layers");
+  }
+  for (size_t layer = 0; layer < weights.size(); ++layer) {
+    if (weights[layer].rows() == 0 || weights[layer].cols() == 0) {
+      return Status::InvalidArgument("restored MLP layer is empty");
+    }
+    if (biases[layer].size() != weights[layer].cols()) {
+      return Status::InvalidArgument(
+          "restored MLP bias width disagrees with its layer");
+    }
+    if (layer + 1 < weights.size() &&
+        weights[layer].cols() != weights[layer + 1].rows()) {
+      return Status::InvalidArgument(
+          "restored MLP layer shapes do not chain");
+    }
+  }
+  if (!scaler.fitted() ||
+      scaler.means().size() != weights.front().rows()) {
+    return Status::InvalidArgument(
+        "restored MLP scaler disagrees with the input layer width");
+  }
+  if (!(label_scale > 0.0)) {
+    return Status::InvalidArgument("label_scale must be positive");
+  }
+  if (options_.task == data::TaskType::kClassification &&
+      weights.back().cols() < 2) {
+    return Status::InvalidArgument(
+        "restored classification MLP needs at least 2 output units");
+  }
+  num_features_ = weights.front().rows();
+  output_dim_ = weights.back().cols();
+  scaler_ = std::move(scaler);
+  weights_ = std::move(weights);
+  biases_ = std::move(biases);
+  label_mean_ = label_mean;
+  label_scale_ = label_scale;
+  return Status::OK();
+}
+
 Result<Matrix> Mlp::Outputs(const data::DataFrame& x) const {
   if (weights_.empty()) {
     return Status::FailedPrecondition("model is not fitted");

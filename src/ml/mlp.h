@@ -39,6 +39,28 @@ class Mlp : public Model {
 
   bool fitted() const { return !weights_.empty(); }
 
+  // Fitted-state access for persistence (src/serve/).
+  const Options& options() const { return options_; }
+  const data::StandardScaler& scaler() const { return scaler_; }
+  const std::vector<Matrix>& layer_weights() const { return weights_; }
+  const std::vector<std::vector<double>>& layer_biases() const {
+    return biases_;
+  }
+  size_t num_features() const { return num_features_; }
+  size_t output_dim() const { return output_dim_; }
+  double label_mean() const { return label_mean_; }
+  double label_scale() const { return label_scale_; }
+
+  /// Restores a previously fitted state. Layer shapes must chain (each
+  /// layer's output width equals the next layer's input width, biases
+  /// match their layer's output width) and the scaler must be fitted on
+  /// the input layer's width. `label_mean`/`label_scale` are the target
+  /// standardization of a regression fit; pass 0/1 for classification.
+  Status RestoreFitted(data::StandardScaler scaler,
+                       std::vector<Matrix> weights,
+                       std::vector<std::vector<double>> biases,
+                       double label_mean, double label_scale);
+
  private:
   /// Forward pass over standardized inputs; returns per-layer activations
   /// (activations[0] is the input batch, back() the raw output/logits).

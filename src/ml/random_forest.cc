@@ -311,6 +311,24 @@ Result<std::vector<double>> RandomForest::PredictProba(
   return sum;
 }
 
+Result<std::vector<TreeNodes>> RandomForest::ExportTrees() const {
+  if (trees_.empty()) {
+    return Status::FailedPrecondition("forest is not fitted");
+  }
+  if (binner_ == nullptr) {
+    return Status::FailedPrecondition(
+        "only shared-binner histogram fits export trees: refit with the "
+        "histogram strategy and share_binner enabled");
+  }
+  std::vector<TreeNodes> out;
+  out.reserve(trees_.size());
+  for (const DecisionTree& tree : trees_) {
+    EAFE_ASSIGN_OR_RETURN(TreeNodes nodes, tree.ExportNodes());
+    out.push_back(std::move(nodes));
+  }
+  return out;
+}
+
 std::vector<double> RandomForest::FeatureImportances() const {
   std::vector<double> total(num_features_, 0.0);
   for (const DecisionTree& tree : trees_) {

@@ -79,7 +79,23 @@ class RandomForest : public Model, public SharedBinnerModel {
   /// to pre-select features on very wide datasets.
   std::vector<double> FeatureImportances() const;
 
+  /// Flattens every tree into persistence records (tree_export.h).
+  /// Shared-binner histogram fits only: the container stores exactly one
+  /// set of binner cuts, which only describes forests whose trees all
+  /// trained through the shared frame binner.
+  Result<std::vector<TreeNodes>> ExportTrees() const;
+
+  /// The frame binner shared by all trees (null for exact or
+  /// per-tree-materialized fits).
+  const std::shared_ptr<const FeatureBinner>& binner() const {
+    return binner_;
+  }
+
   size_t num_trees() const { return trees_.size(); }
+  size_t num_features() const { return num_features_; }
+  /// Vote width of a classification fit; 0 for regression.
+  int num_classes() const { return num_classes_; }
+  const Options& options() const { return options_; }
   bool fitted() const { return !trees_.empty(); }
 
  private:

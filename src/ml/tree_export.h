@@ -1,0 +1,31 @@
+#ifndef EAFE_ML_TREE_EXPORT_H_
+#define EAFE_ML_TREE_EXPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace eafe::ml {
+
+/// One flattened tree node, as exported by the histogram tree models for
+/// persistence (src/serve/). Child offsets index the exporting tree's own
+/// node vector; -1 marks an absent child (leaves). Split thresholds are
+/// deliberately not exported: a histogram split is fully described by
+/// (feature, split_bin) plus the fitted FeatureBinner cuts, because
+/// threshold == cut(feature, split_bin) by construction — the cut/code
+/// invariant that makes bin-coded traversal bit-identical to the
+/// raw-double path.
+struct TreeNodeRecord {
+  int32_t feature = -1;   ///< Split feature id; -1 marks a leaf.
+  uint8_t split_bin = 0;  ///< Go left if code <= split_bin.
+  int32_t left = -1;      ///< Left child index within the same tree.
+  int32_t right = -1;
+  double value = 0.0;     ///< Leaf payload: class / mean / boost weight.
+  double proba = 0.0;     ///< Leaf P(class == 1); equals value for
+                          ///< regression leaves, 0 for boosted trees.
+};
+
+using TreeNodes = std::vector<TreeNodeRecord>;
+
+}  // namespace eafe::ml
+
+#endif  // EAFE_ML_TREE_EXPORT_H_

@@ -1,0 +1,118 @@
+#include "serve/wire.h"
+
+#include <bit>
+
+#include "core/string_util.h"
+
+namespace eafe::serve {
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes_.push_back(static_cast<char>((v >> shift) & 0xffu));
+  }
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes_.push_back(static_cast<char>((v >> shift) & 0xffu));
+  }
+}
+
+void ByteWriter::PutDouble(double v) { PutU64(std::bit_cast<uint64_t>(v)); }
+
+void ByteWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  bytes_.append(s);
+}
+
+void ByteWriter::PutDoubleVec(const std::vector<double>& values) {
+  PutU64(values.size());
+  for (double v : values) PutDouble(v);
+}
+
+Status ByteReader::Need(uint64_t n) const {
+  if (n > remaining()) {
+    return Status::InvalidArgument(
+        StrFormat("truncated container: need %llu more bytes, have %zu",
+                  static_cast<unsigned long long>(n), remaining()));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> ByteReader::TakeU8() {
+  EAFE_RETURN_NOT_OK(Need(1));
+  return static_cast<uint8_t>(bytes_[offset_++]);
+}
+
+Result<uint32_t> ByteReader::TakeU32() {
+  EAFE_RETURN_NOT_OK(Need(4));
+  uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[offset_++]))
+         << shift;
+  }
+  return v;
+}
+
+Result<uint64_t> ByteReader::TakeU64() {
+  EAFE_RETURN_NOT_OK(Need(8));
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[offset_++]))
+         << shift;
+  }
+  return v;
+}
+
+Result<int32_t> ByteReader::TakeI32() {
+  EAFE_ASSIGN_OR_RETURN(uint32_t v, TakeU32());
+  return static_cast<int32_t>(v);
+}
+
+Result<double> ByteReader::TakeDouble() {
+  EAFE_ASSIGN_OR_RETURN(uint64_t v, TakeU64());
+  return std::bit_cast<double>(v);
+}
+
+Result<std::string> ByteReader::TakeString() {
+  EAFE_ASSIGN_OR_RETURN(uint32_t size, TakeU32());
+  EAFE_RETURN_NOT_OK(Need(size));
+  std::string s(bytes_.substr(offset_, size));
+  offset_ += size;
+  return s;
+}
+
+Result<std::vector<double>> ByteReader::TakeDoubleVec() {
+  EAFE_ASSIGN_OR_RETURN(uint64_t count, TakeCount(sizeof(double)));
+  std::vector<double> values(static_cast<size_t>(count));
+  for (double& v : values) {
+    EAFE_ASSIGN_OR_RETURN(v, TakeDouble());
+  }
+  return values;
+}
+
+Result<uint64_t> ByteReader::TakeCount(size_t elem_size) {
+  EAFE_ASSIGN_OR_RETURN(uint64_t count, TakeU64());
+  if (count > remaining() / elem_size) {
+    return Status::InvalidArgument(
+        StrFormat("corrupt container: count %llu exceeds the %zu bytes "
+                  "remaining",
+                  static_cast<unsigned long long>(count), remaining()));
+  }
+  return count;
+}
+
+Status ByteReader::Skip(uint64_t n) {
+  EAFE_RETURN_NOT_OK(Need(n));
+  offset_ += static_cast<size_t>(n);
+  return Status::OK();
+}
+
+Result<ByteReader> ByteReader::TakeSlice(uint64_t n) {
+  EAFE_RETURN_NOT_OK(Need(n));
+  ByteReader slice(bytes_.substr(offset_, static_cast<size_t>(n)));
+  offset_ += static_cast<size_t>(n);
+  return slice;
+}
+
+}  // namespace eafe::serve

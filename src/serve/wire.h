@@ -1,0 +1,84 @@
+#ifndef EAFE_SERVE_WIRE_H_
+#define EAFE_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace eafe::serve {
+
+/// Byte-level codec for the model container (model_store.h). Everything
+/// on the wire is explicit little-endian, composed byte by byte — no
+/// struct dumps, no reinterpret_cast — so a container written on any
+/// host loads on any other, and the eafe_lint raw-deserialize rule can
+/// ban ad-hoc binary IO everywhere else.
+
+/// Appends little-endian primitives to a growing byte string.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Two's-complement via the unsigned encoding.
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  /// IEEE-754 bit pattern as a u64.
+  void PutDouble(double v);
+  void PutBytes(std::string_view bytes) { bytes_.append(bytes); }
+  /// u32 byte-length prefix + raw bytes.
+  void PutString(std::string_view s);
+  /// u64 count prefix + doubles.
+  void PutDoubleVec(const std::vector<double>& values);
+
+  const std::string& bytes() const { return bytes_; }
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked little-endian reader over a byte buffer. Every Take*
+/// validates the remaining length first and returns a Status error past
+/// the end — a truncated or hostile container can never read out of
+/// bounds. The buffer is borrowed, not owned: the backing bytes must
+/// outlive the reader.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<uint8_t> TakeU8();
+  Result<uint32_t> TakeU32();
+  Result<uint64_t> TakeU64();
+  Result<int32_t> TakeI32();
+  Result<double> TakeDouble();
+  /// Reads a u32 length prefix, then that many raw bytes.
+  Result<std::string> TakeString();
+  /// Reads a u64 count prefix, then that many doubles.
+  Result<std::vector<double>> TakeDoubleVec();
+  /// Reads a u64 element count and validates it against the bytes still
+  /// available (`count * elem_size <= remaining`), so corrupted counts
+  /// fail here instead of driving a giant allocation.
+  Result<uint64_t> TakeCount(size_t elem_size);
+  /// Consumes `n` bytes without interpreting them (unknown sections).
+  Status Skip(uint64_t n);
+  /// Splits off a sub-reader over the next `n` bytes and consumes them;
+  /// section parsing through a slice can never read past its own
+  /// declared length.
+  Result<ByteReader> TakeSlice(uint64_t n);
+
+  size_t remaining() const { return bytes_.size() - offset_; }
+  bool done() const { return offset_ == bytes_.size(); }
+
+ private:
+  /// OK iff `n` more bytes are available.
+  Status Need(uint64_t n) const;
+
+  std::string_view bytes_;
+  size_t offset_ = 0;
+};
+
+}  // namespace eafe::serve
+
+#endif  // EAFE_SERVE_WIRE_H_

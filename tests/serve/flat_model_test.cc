@@ -1,0 +1,104 @@
+#include "serve/flat_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "data/synthetic.h"
+#include "ml/feature_binner.h"
+#include "ml/gradient_boosted_trees.h"
+#include "ml/random_forest.h"
+
+namespace eafe::serve {
+namespace {
+
+data::Dataset MakeData(data::TaskType task, uint64_t seed) {
+  data::SyntheticSpec spec;
+  spec.task = task;
+  spec.num_samples = 140;
+  spec.num_features = 5;
+  spec.seed = seed;
+  return data::MakeSynthetic(spec).ValueOrDie();
+}
+
+TEST(FlatModelTest, FlattenForestProducesValidatedArrays) {
+  ml::RandomForest forest;
+  const data::Dataset data = MakeData(data::TaskType::kClassification, 41);
+  ASSERT_TRUE(forest.Fit(data.features, data.labels).ok());
+  const FlatTreeModel model = FlattenForest(forest).ValueOrDie();
+
+  EXPECT_EQ(model.kind, EnsembleKind::kForestVote);
+  EXPECT_EQ(model.task, data::TaskType::kClassification);
+  EXPECT_EQ(model.num_trees(), forest.num_trees());
+  EXPECT_EQ(model.num_features, 5u);
+  EXPECT_GE(model.num_classes, 2u);
+  EXPECT_TRUE(model.Validate().ok());
+
+  // The stored cuts are the fitted binner's thresholds, feature by
+  // feature — the loaded model can encode raw frames on its own.
+  const auto& binner = forest.binner();
+  ASSERT_NE(binner, nullptr);
+  for (uint32_t f = 0; f < model.num_features; ++f) {
+    const uint64_t count = model.cut_offsets[f + 1] - model.cut_offsets[f];
+    ASSERT_EQ(count, binner->num_bins(f) - 1);
+    for (uint64_t c = 0; c < count; ++c) {
+      EXPECT_EQ(model.cuts[model.cut_offsets[f] + c],
+                binner->cut(f, static_cast<size_t>(c)));
+    }
+  }
+}
+
+TEST(FlatModelTest, FlattenGbdtCarriesBoosterMeta) {
+  ml::GradientBoostedTrees::Options options;
+  options.task = data::TaskType::kRegression;
+  options.rounds = 7;
+  options.learning_rate = 0.3;
+  ml::GradientBoostedTrees booster(options);
+  const data::Dataset data = MakeData(data::TaskType::kRegression, 42);
+  ASSERT_TRUE(booster.Fit(data.features, data.labels).ok());
+  const FlatTreeModel model = FlattenGbdt(booster).ValueOrDie();
+
+  EXPECT_EQ(model.kind, EnsembleKind::kBoostedSum);
+  EXPECT_EQ(model.num_trees(), 7u);
+  EXPECT_EQ(model.base_score, booster.base_score());
+  EXPECT_EQ(model.learning_rate, 0.3);
+  EXPECT_TRUE(model.Validate().ok());
+}
+
+TEST(FlatModelTest, ChildOffsetsAreAbsoluteAndForward) {
+  ml::RandomForest::Options options;
+  options.task = data::TaskType::kRegression;
+  ml::RandomForest forest(options);
+  const data::Dataset data = MakeData(data::TaskType::kRegression, 43);
+  ASSERT_TRUE(forest.Fit(data.features, data.labels).ok());
+  const FlatTreeModel model = FlattenForest(forest).ValueOrDie();
+  for (size_t t = 0; t < model.num_trees(); ++t) {
+    const uint32_t begin = model.tree_offsets[t];
+    const uint32_t end = model.tree_offsets[t + 1];
+    ASSERT_LT(begin, end);
+    for (uint32_t i = begin; i < end; ++i) {
+      if (model.feature[i] < 0) continue;
+      EXPECT_GT(model.left[i], static_cast<int32_t>(i));
+      EXPECT_GT(model.right[i], static_cast<int32_t>(i));
+      EXPECT_LT(static_cast<uint32_t>(model.left[i]), end);
+      EXPECT_LT(static_cast<uint32_t>(model.right[i]), end);
+    }
+  }
+}
+
+TEST(FlatModelTest, UnfittedModelsDoNotFlatten) {
+  EXPECT_FALSE(FlattenForest(ml::RandomForest()).ok());
+  EXPECT_FALSE(FlattenGbdt(ml::GradientBoostedTrees()).ok());
+}
+
+TEST(FlatModelTest, NonSharedBinnerForestIsRejected) {
+  ml::RandomForest::Options options;
+  options.share_binner = false;  // Per-tree binners: no single cut table.
+  ml::RandomForest forest(options);
+  const data::Dataset data = MakeData(data::TaskType::kClassification, 44);
+  ASSERT_TRUE(forest.Fit(data.features, data.labels).ok());
+  EXPECT_FALSE(FlattenForest(forest).ok());
+}
+
+}  // namespace
+}  // namespace eafe::serve

@@ -1,0 +1,140 @@
+#include "serve/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace eafe::serve {
+namespace {
+
+TEST(WireTest, ScalarRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI32(-12345);
+  w.PutDouble(3.25);
+  const std::string bytes = w.Take();
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.TakeU8().ValueOrDie(), 0xAB);
+  EXPECT_EQ(r.TakeU32().ValueOrDie(), 0xDEADBEEFu);
+  EXPECT_EQ(r.TakeU64().ValueOrDie(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.TakeI32().ValueOrDie(), -12345);
+  EXPECT_EQ(r.TakeDouble().ValueOrDie(), 3.25);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireTest, LittleEndianByteOrder) {
+  ByteWriter w;
+  w.PutU32(0x01020304);
+  const std::string bytes = w.Take();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0x01);
+}
+
+TEST(WireTest, DoublePreservesBitPatterns) {
+  const std::vector<double> specials = {
+      0.0, -0.0, std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max()};
+  ByteWriter w;
+  for (double v : specials) w.PutDouble(v);
+  w.PutDouble(std::numeric_limits<double>::quiet_NaN());
+  const std::string bytes = w.Take();
+  ByteReader r(bytes);
+  for (double v : specials) {
+    const double got = r.TakeDouble().ValueOrDie();
+    EXPECT_EQ(got, v);
+    EXPECT_EQ(std::signbit(got), std::signbit(v));
+  }
+  EXPECT_TRUE(std::isnan(r.TakeDouble().ValueOrDie()));
+}
+
+TEST(WireTest, StringAndVecRoundTrip) {
+  ByteWriter w;
+  w.PutString("ccws");
+  w.PutString("");
+  w.PutDoubleVec({1.5, -2.5, 0.0});
+  w.PutDoubleVec({});
+  const std::string bytes = w.Take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.TakeString().ValueOrDie(), "ccws");
+  EXPECT_EQ(r.TakeString().ValueOrDie(), "");
+  EXPECT_EQ(r.TakeDoubleVec().ValueOrDie(),
+            (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_TRUE(r.TakeDoubleVec().ValueOrDie().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireTest, TruncatedReadsFailCleanly) {
+  ByteWriter w;
+  w.PutU64(7);
+  std::string bytes = w.Take();
+  bytes.resize(5);
+  ByteReader r(bytes);
+  const auto result = r.TakeU64();
+  ASSERT_FALSE(result.ok());
+  // A failed read must not consume anything.
+  EXPECT_EQ(r.remaining(), 5u);
+}
+
+TEST(WireTest, EveryPrefixOfAVecFails) {
+  ByteWriter w;
+  w.PutDoubleVec({1.0, 2.0, 3.0});
+  const std::string bytes = w.Take();
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    ByteReader r(std::string_view(bytes).substr(0, n));
+    EXPECT_FALSE(r.TakeDoubleVec().ok()) << "prefix length " << n;
+  }
+}
+
+TEST(WireTest, TakeCountRejectsOversizedCounts) {
+  ByteWriter w;
+  w.PutU64(std::numeric_limits<uint64_t>::max());  // Hostile count.
+  const std::string bytes = w.Take();
+  ByteReader r(bytes);
+  EXPECT_FALSE(r.TakeCount(8).ok());
+}
+
+TEST(WireTest, TakeCountAcceptsExactFit) {
+  ByteWriter w;
+  w.PutU64(2);
+  w.PutDouble(1.0);
+  w.PutDouble(2.0);
+  const std::string bytes = w.Take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.TakeCount(sizeof(double)).ValueOrDie(), 2u);
+}
+
+TEST(WireTest, TakeSliceConfinesReads) {
+  ByteWriter w;
+  w.PutU32(11);
+  w.PutU32(22);
+  const std::string bytes = w.Take();
+  ByteReader r(bytes);
+  ByteReader slice = r.TakeSlice(4).ValueOrDie();
+  EXPECT_EQ(slice.TakeU32().ValueOrDie(), 11u);
+  EXPECT_FALSE(slice.TakeU32().ok());  // Confined to its 4 bytes.
+  EXPECT_EQ(r.TakeU32().ValueOrDie(), 22u);
+  EXPECT_FALSE(r.TakeSlice(1).ok());  // Nothing left.
+}
+
+TEST(WireTest, SkipAdvancesAndBoundsChecks) {
+  ByteWriter w;
+  w.PutU32(1);
+  w.PutU32(2);
+  const std::string bytes = w.Take();
+  ByteReader r(bytes);
+  ASSERT_TRUE(r.Skip(4).ok());
+  EXPECT_EQ(r.TakeU32().ValueOrDie(), 2u);
+  EXPECT_FALSE(r.Skip(1).ok());
+}
+
+}  // namespace
+}  // namespace eafe::serve

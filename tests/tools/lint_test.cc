@@ -111,6 +111,39 @@ TEST(RawThreadTest, RuntimeHardwareConcurrencyAndEscapeAreExempt) {
                   .empty());
 }
 
+TEST(RawDeserializeTest, FiresOnFreadAndReinterpretCast) {
+  const std::string source =
+      "#include <cstdio>\n"
+      "size_t n = fread(buf, 1, 64, f);\n"
+      "const Header* h = reinterpret_cast<const Header*>(bytes.data());\n";
+  const std::vector<Finding> findings =
+      CheckRawDeserialize("src/fpe/serialization.cc", source);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, kRuleRawDeserialize);
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_NE(findings[0].message.find("serve/wire.h"), std::string::npos);
+  EXPECT_EQ(findings[1].line, 3u);
+}
+
+TEST(RawDeserializeTest, ServeCommentsAndEscapeAreExempt) {
+  EXPECT_TRUE(CheckRawDeserialize(
+                  "src/serve/wire.cc",
+                  "auto* p = reinterpret_cast<const char*>(bytes);")
+                  .empty());
+  EXPECT_TRUE(CheckRawDeserialize(
+                  "src/ml/x.cc", "// fread is banned; reinterpret_cast too\n")
+                  .empty());
+  EXPECT_TRUE(
+      CheckRawDeserialize(
+          "src/ml/x.cc",
+          "fread(b, 1, 4, f);  // eafe-lint: allow(raw-deserialize) why\n")
+          .empty());
+  // std::bit_cast is the sanctioned in-process punning tool.
+  EXPECT_TRUE(CheckRawDeserialize(
+                  "src/afe/x.cc", "auto u = std::bit_cast<uint64_t>(d);")
+                  .empty());
+}
+
 constexpr char kTestsCMake[] = R"cmake(
 # labels drive suite selection
 eafe_add_test(good_test

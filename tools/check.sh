@@ -4,7 +4,8 @@
 #   lint     eafe_lint invariant checker + clang-tidy (when installed) in build/
 #   debug    build + full ctest (all labels) in build/
 #   release  Release build + the micro_tree perf smoke in build-release/
-#            (tree, shared-binner forest, and gbdt booster gates)
+#            (tree, shared-binner forest, gbdt booster, and model-store
+#            round-trip serving gates)
 #   asan     full ctest under AddressSanitizer in build-asan/
 #   ubsan    full ctest under UndefinedBehaviorSanitizer in build-ubsan/
 #   tsan     every test labeled `tsan` under ThreadSanitizer in build-tsan/
@@ -84,9 +85,11 @@ run_debug() {
 }
 
 run_release() {
-  echo "== release: histogram tree perf smoke (${root}/build-release) =="
-  # An explicit Release tree so the smoke gate measures optimized code even
-  # when the default tree was configured with another build type.
+  echo "== release: tree perf + serving round-trip smoke (${root}/build-release) =="
+  # An explicit Release tree so the smoke gates measure optimized code even
+  # when the default tree was configured with another build type. --smoke
+  # covers histogram-vs-exact fits, shared-binner forests, the booster, and
+  # the save->load->flat-predict round trip (bit-identity + speed floor).
   cmake -B "${root}/build-release" -S "${root}" \
     -DCMAKE_BUILD_TYPE=Release -DEAFE_WERROR=ON >/dev/null
   cmake --build "${root}/build-release" -j "${jobs}" --target micro_tree

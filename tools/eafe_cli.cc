@@ -1,11 +1,12 @@
 // eafe — command-line interface to the library, for users who want the
 // paper's pipeline on their own CSV files without writing C++:
 //
-//   eafe pretrain --out model.txt [--public 10] [--scheme ccws]
-//       Pre-train an FPE model (synthetic public collection) and save it.
+//   eafe pretrain --out model.eafe [--public 10] [--scheme ccws]
+//       Pre-train an FPE model (synthetic public collection) and save it
+//       as a binary model container (legacy .txt models stay loadable).
 //
 //   eafe search --data train.csv --label target --task classification
-//               [--model model.txt] [--method eafe|nfs|random]
+//               [--model model.eafe] [--method eafe|nfs|random]
 //               [--downstream rf|gbdt|...] [--epochs 10]
 //               [--out engineered.csv]
 //       Run AFE on a CSV dataset; optionally write the engineered table.
@@ -16,6 +17,14 @@
 //
 //   eafe describe --data train.csv --label target --task classification
 //       Shape, per-column statistics, and RF feature importances.
+//
+//   eafe save-model --data train.csv --label target --task classification
+//                   --out model.eafe [--model-type rf|gbdt]
+//       Train a forest/booster and save it to a model container.
+//
+//   eafe predict --model-file model.eafe --data test.csv
+//                [--label target] [--proba] [--out predictions.csv]
+//       Batch inference from a saved container via the flat engine.
 
 #include <algorithm>
 #include <cstdio>
@@ -23,11 +32,13 @@
 
 #include "core/flags.h"
 #include "core/table_printer.h"
+#include "data/csv.h"
 #include "data/meta_features.h"
 #include "eafe.h"
-#include "fpe/serialization.h"
 #include "ml/feature_selection.h"
 #include "runtime/thread_pool.h"
+#include "serve/flat_predictor.h"
+#include "serve/model_store.h"
 
 namespace eafe::cli {
 namespace {
@@ -63,7 +74,7 @@ Result<data::Dataset> LoadDataset(const FlagParser& flags) {
 
 int Pretrain(int argc, char** argv) {
   FlagParser flags;
-  flags.AddString("out", "fpe_model.txt", "output model path")
+  flags.AddString("out", "fpe_model.eafe", "output model path")
       .AddInt("public", 10, "number of synthetic public datasets")
       .AddString("scheme", "", "fix one MinHash scheme (default: sweep)")
       .AddInt("dimension", 48, "signature dimension d")
@@ -99,7 +110,7 @@ int Pretrain(int argc, char** argv) {
               trained->selected.dimension, trained->selected.recall,
               trained->selected.precision);
   const Status saved =
-      fpe::SaveFpeModel(trained->model, flags.GetString("out"));
+      serve::SaveModel(trained->model, flags.GetString("out"));
   if (!saved.ok()) return Fail(saved);
   std::printf("model written to %s\n", flags.GetString("out").c_str());
   return 0;
@@ -160,9 +171,13 @@ int Search(int argc, char** argv) {
       return Fail(Status::InvalidArgument(
           "--model is required for method eafe (run `eafe pretrain`)"));
     }
-    auto loaded = fpe::LoadFpeModel(flags.GetString("model"));
+    auto loaded = serve::LoadModel(flags.GetString("model"));
     if (!loaded.ok()) return Fail(loaded.status());
-    model = std::move(loaded).ValueOrDie();
+    if (loaded->kind != serve::ModelKind::kFpe || !loaded->fpe) {
+      return Fail(Status::InvalidArgument(
+          "--model must be an FPE model (run `eafe pretrain`)"));
+    }
+    model = std::move(*loaded->fpe);
     afe::EafeSearch::Options options;
     options.search = search_options;
     options.fpe_model = &model;
@@ -290,9 +305,125 @@ int Describe(int argc, char** argv) {
   return 0;
 }
 
+int SaveModelCmd(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("data", "", "input CSV")
+      .AddString("label", "", "label column name")
+      .AddString("task", "classification", "classification|regression")
+      .AddString("model-type", "rf", "model to train: rf|gbdt")
+      .AddString("out", "model.eafe", "output container path")
+      .AddInt("trees", 10, "forest trees / boosting rounds")
+      .AddInt("max-depth", 0, "tree depth cap (0: model default)")
+      .AddInt("seed", 17, "random seed")
+      .AddThreads();
+  const Status parsed = flags.Parse(argc, argv);
+  if (parsed.code() == StatusCode::kNotFound) return 0;
+  if (!parsed.ok()) return Fail(parsed);
+  ApplyThreads(flags);
+
+  auto dataset = LoadDataset(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  const std::string model_type = flags.GetString("model-type");
+  Status saved = Status::OK();
+  size_t num_trees = 0;
+  if (model_type == "rf") {
+    ml::RandomForest::Options options;
+    options.task = dataset->task;
+    options.num_trees = static_cast<size_t>(flags.GetInt("trees"));
+    if (flags.GetInt("max-depth") > 0) {
+      options.max_depth = static_cast<size_t>(flags.GetInt("max-depth"));
+    }
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    ml::RandomForest forest(options);
+    const Status fitted = forest.Fit(dataset->features, dataset->labels);
+    if (!fitted.ok()) return Fail(fitted);
+    num_trees = forest.num_trees();
+    saved = serve::SaveModel(forest, flags.GetString("out"));
+  } else if (model_type == "gbdt") {
+    ml::GradientBoostedTrees::Options options;
+    options.task = dataset->task;
+    options.rounds = static_cast<size_t>(flags.GetInt("trees"));
+    if (flags.GetInt("max-depth") > 0) {
+      options.max_depth = static_cast<size_t>(flags.GetInt("max-depth"));
+    }
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    ml::GradientBoostedTrees booster(options);
+    const Status fitted = booster.Fit(dataset->features, dataset->labels);
+    if (!fitted.ok()) return Fail(fitted);
+    num_trees = booster.num_trees();
+    saved = serve::SaveModel(booster, flags.GetString("out"));
+  } else {
+    return Fail(
+        Status::InvalidArgument("--model-type must be rf or gbdt"));
+  }
+  if (!saved.ok()) return Fail(saved);
+  std::printf("%s with %zu trees on %zu rows x %zu features written to "
+              "%s\n",
+              model_type.c_str(), num_trees, dataset->num_rows(),
+              dataset->num_features(), flags.GetString("out").c_str());
+  return 0;
+}
+
+int Predict(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("model-file", "", "saved model container")
+      .AddString("data", "", "input CSV")
+      .AddString("label", "",
+                 "drop this column before predicting (if present)")
+      .AddBool("proba", false, "emit P(class == 1) instead of labels")
+      .AddString("out", "", "write predictions to this CSV");
+  const Status parsed = flags.Parse(argc, argv);
+  if (parsed.code() == StatusCode::kNotFound) return 0;
+  if (!parsed.ok()) return Fail(parsed);
+  if (flags.GetString("model-file").empty() ||
+      flags.GetString("data").empty()) {
+    return Fail(
+        Status::InvalidArgument("--model-file and --data are required"));
+  }
+
+  auto loaded = serve::LoadModel(flags.GetString("model-file"));
+  if (!loaded.ok()) return Fail(loaded.status());
+  if (!loaded->tree) {
+    return Fail(Status::InvalidArgument(
+        "predict serves forest/gbdt containers; FPE models drive "
+        "`eafe search --model`"));
+  }
+  auto predictor = serve::FlatPredictor::Create(std::move(*loaded->tree));
+  if (!predictor.ok()) return Fail(predictor.status());
+
+  auto frame = data::ReadCsv(flags.GetString("data"));
+  if (!frame.ok()) return Fail(frame.status());
+  if (!flags.GetString("label").empty()) {
+    // Tolerate frames with or without the label column, so the training
+    // CSV can be replayed through predict as-is.
+    (void)frame->DropColumnByName(flags.GetString("label"));
+  }
+
+  auto predictions = flags.GetBool("proba")
+                         ? predictor->PredictProba(*frame)
+                         : predictor->Predict(*frame);
+  if (!predictions.ok()) return Fail(predictions.status());
+
+  if (!flags.GetString("out").empty()) {
+    data::DataFrame table;
+    const Status added = table.AddColumn(
+        data::Column("prediction", std::move(*predictions)));
+    if (!added.ok()) return Fail(added);
+    const Status written = data::WriteCsv(table, flags.GetString("out"));
+    if (!written.ok()) return Fail(written);
+    std::printf("%zu predictions written to %s\n", table.num_rows(),
+                flags.GetString("out").c_str());
+    return 0;
+  }
+  for (const double p : *predictions) std::printf("%.17g\n", p);
+  return 0;
+}
+
 int Usage(const char* program) {
   std::fprintf(stderr,
-               "usage: %s <pretrain|search|evaluate|describe> [flags]\n"
+               "usage: %s <pretrain|search|evaluate|describe|save-model|"
+               "predict> [flags]\n"
                "Run '%s <command> --help' for command flags.\n",
                program, program);
   return 1;
@@ -306,6 +437,8 @@ int Main(int argc, char** argv) {
   if (command == "search") return Search(argc - 1, argv + 1);
   if (command == "evaluate") return Evaluate(argc - 1, argv + 1);
   if (command == "describe") return Describe(argc - 1, argv + 1);
+  if (command == "save-model") return SaveModelCmd(argc - 1, argv + 1);
+  if (command == "predict") return Predict(argc - 1, argv + 1);
   return Usage(argv[0]);
 }
 

@@ -303,6 +303,35 @@ std::vector<Finding> CheckRawThreads(const std::string& path,
   return findings;
 }
 
+std::vector<Finding> CheckRawDeserialize(const std::string& path,
+                                         const std::string& source) {
+  // serve/ is the one audited decoding layer: every read there goes
+  // through the bounds-checked ByteReader, so the raw primitives stay
+  // confined to files this rule's reviewers already watch.
+  if (path.rfind("src/serve/", 0) == 0) return {};
+  const std::set<size_t> allowed = AllowedLines(source, kRuleRawDeserialize);
+  const std::string stripped = StripCommentsAndStrings(source);
+  std::vector<Finding> findings;
+  for (const Ident& ident : Identifiers(stripped)) {
+    if (ident.text != "fread" && ident.text != "reinterpret_cast") continue;
+    if (allowed.count(ident.line) > 0) continue;
+    Finding finding;
+    finding.file = path;
+    finding.line = ident.line;
+    finding.rule = kRuleRawDeserialize;
+    finding.message =
+        "'" + ident.text +
+        "' decodes bytes outside src/serve/. Struct-dump IO depends on "
+        "endianness and padding, and truncated or hostile input becomes "
+        "undefined behaviour; route wire decoding through the "
+        "bounds-checked serve/wire.h readers (std::bit_cast for in-process "
+        "type punning), or append '// eafe-lint: allow(raw-deserialize)' "
+        "with a justification.";
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
 std::vector<TestRegistration> ParseTestRegistrations(
     const std::string& cmake_source) {
   // Blank out # comments (CMake has no block comments we use).
@@ -583,7 +612,8 @@ std::optional<std::vector<Finding>> LintRepository(const std::string& root,
     }
     const std::string relative =
         fs::relative(file, base).generic_string();
-    for (auto* check : {&CheckDeterminism, &CheckRawThreads}) {
+    for (auto* check :
+         {&CheckDeterminism, &CheckRawThreads, &CheckRawDeserialize}) {
       std::vector<Finding> found = (*check)(relative, *source);
       findings.insert(findings.end(),
                       std::make_move_iterator(found.begin()),

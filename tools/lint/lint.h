@@ -40,6 +40,7 @@ inline constexpr char kRuleDeterminism[] = "determinism";
 inline constexpr char kRuleRawThread[] = "raw-thread";
 inline constexpr char kRuleTestLabels[] = "test-labels";
 inline constexpr char kRuleCacheSignature[] = "cache-signature";
+inline constexpr char kRuleRawDeserialize[] = "raw-deserialize";
 
 // Replaces the bodies of //- and /* */-comments and string/char literals
 // with spaces, preserving newlines so byte offsets keep their line numbers.
@@ -69,6 +70,17 @@ std::vector<Finding> CheckDeterminism(const std::string& path,
 // exempt.
 std::vector<Finding> CheckRawThreads(const std::string& path,
                                      const std::string& source);
+
+// ---------------------------------------------------------------------------
+// Rule: raw-deserialize
+//
+// src/ outside src/serve/ must not decode bytes through `fread` or
+// `reinterpret_cast`: struct-dump IO is endian/padding-dependent and a
+// truncated or hostile file becomes undefined behaviour. All wire decoding
+// goes through the bounds-checked serve/wire.h readers (model containers
+// via serve/model_store.h); in-process type punning uses std::bit_cast.
+std::vector<Finding> CheckRawDeserialize(const std::string& path,
+                                         const std::string& source);
 
 // ---------------------------------------------------------------------------
 // Rule: test-labels
