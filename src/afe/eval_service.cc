@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/stopwatch.h"
 #include "hashing/minhash.h"
 
 namespace eafe::afe {
@@ -71,7 +72,20 @@ uint64_t EvaluationSignature(const data::Dataset& dataset,
 
 EvalService::EvalService(const ml::TaskEvaluator* evaluator,
                          const Options& options)
-    : evaluator_(evaluator), pool_(options.pool), cache_(options.cache) {}
+    : evaluator_(evaluator),
+      pool_(options.pool),
+      cache_(options.cache),
+      metric_requests_(runtime::GlobalMetrics()->Counter(
+          "eafe_eval_requests_total",
+          "Candidate evaluations requested (cache hits included)")),
+      metric_cache_hits_(runtime::GlobalMetrics()->Counter(
+          "eafe_eval_cache_hits_total",
+          "Evaluation requests served without a model fit")),
+      metric_evaluations_(runtime::GlobalMetrics()->Counter(
+          "eafe_eval_evaluations_total",
+          "Model fits actually executed (unique cache misses)")),
+      metric_batch_seconds_(runtime::GlobalMetrics()->Histogram(
+          "eafe_eval_batch_seconds", "EvaluateBatch wall time", {})) {}
 
 runtime::ThreadPool* EvalService::pool() const {
   return pool_ != nullptr ? pool_ : runtime::GlobalPool();
@@ -81,6 +95,7 @@ Result<std::vector<EvalService::Outcome>> EvalService::EvaluateBatch(
     const FeatureSpace& space, const std::vector<SpaceFeature>& candidates,
     double current_score) {
   std::vector<Outcome> outcomes(candidates.size());
+  const Stopwatch batch_timer;
 
   // Serial prologue: build each candidate's table, compute its signature,
   // answer what the cache can, and dedup the rest. Request order defines
@@ -95,6 +110,7 @@ Result<std::vector<EvalService::Outcome>> EvalService::EvaluateBatch(
   std::vector<std::pair<size_t, size_t>> pending;
   for (size_t i = 0; i < candidates.size(); ++i) {
     requests_.fetch_add(1, std::memory_order_relaxed);
+    metric_requests_->Increment();
     EAFE_ASSIGN_OR_RETURN(data::Dataset dataset,
                           BuildCandidateDataset(space, candidates[i]));
     const uint64_t signature =
@@ -104,6 +120,7 @@ Result<std::vector<EvalService::Outcome>> EvalService::EvaluateBatch(
       outcomes[i].score = *cached;
       outcomes[i].cache_hit = true;
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      metric_cache_hits_->Increment();
       evaluator_->RecordCachedScore();
       continue;
     }
@@ -115,6 +132,7 @@ Result<std::vector<EvalService::Outcome>> EvalService::EvaluateBatch(
       // In-batch duplicate: one model fit, counted as a served request.
       outcomes[i].cache_hit = true;
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      metric_cache_hits_->Increment();
       evaluator_->RecordCachedScore();
     }
     pending.emplace_back(i, it->second);
@@ -136,6 +154,7 @@ Result<std::vector<EvalService::Outcome>> EvalService::EvaluateBatch(
           }
         }
       });
+  metric_evaluations_->Increment(jobs.size());
   for (size_t j = 0; j < jobs.size(); ++j) {
     EAFE_RETURN_NOT_OK(statuses[j]);
     cache_.Insert(jobs[j].signature, scores[j]);
@@ -147,6 +166,7 @@ Result<std::vector<EvalService::Outcome>> EvalService::EvaluateBatch(
   for (Outcome& outcome : outcomes) {
     outcome.gain = outcome.score - current_score;
   }
+  metric_batch_seconds_->Observe(batch_timer.ElapsedSeconds());
   return outcomes;
 }
 
@@ -160,14 +180,17 @@ Result<double> EvalService::EvaluateGain(const FeatureSpace& space,
 
 Result<double> EvalService::ScoreDataset(const data::Dataset& dataset) {
   requests_.fetch_add(1, std::memory_order_relaxed);
+  metric_requests_->Increment();
   const uint64_t signature =
       EvaluationSignature(dataset, evaluator_->options());
   if (std::optional<double> cached = cache_.Lookup(signature)) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    metric_cache_hits_->Increment();
     evaluator_->RecordCachedScore();
     return *cached;
   }
   EAFE_ASSIGN_OR_RETURN(double score, evaluator_->Score(dataset));
+  metric_evaluations_->Increment();
   cache_.Insert(signature, score);
   return score;
 }

@@ -9,6 +9,7 @@
 #include "afe/search.h"
 #include "core/status.h"
 #include "ml/evaluator.h"
+#include "runtime/metrics.h"
 #include "runtime/score_cache.h"
 #include "runtime/thread_pool.h"
 
@@ -92,6 +93,13 @@ class EvalService {
   runtime::ScoreCache cache_;
   std::atomic<size_t> requests_{0};
   std::atomic<size_t> cache_hits_{0};
+  /// Instruments captured from GlobalMetrics() at construction; owned by
+  /// the gateway. Batch latency lets eval throughput (evaluations per
+  /// second) be derived as rate(evaluations) in any scraper.
+  runtime::MetricCounter* metric_requests_;
+  runtime::MetricCounter* metric_cache_hits_;
+  runtime::MetricCounter* metric_evaluations_;
+  runtime::MetricHistogram* metric_batch_seconds_;
 };
 
 }  // namespace eafe::afe

@@ -3,27 +3,21 @@
 #include <algorithm>
 
 #include "core/check.h"
+#include "simd/minhash_kernels.h"
+#include "simd/portable_math.h"
 
 namespace eafe::hashing {
 
 uint64_t MixHash(uint64_t seed, uint64_t slot, uint64_t element) {
-  // splitmix64-style finalizer over a combined key.
-  uint64_t z = seed ^ (slot * 0x9E3779B97F4A7C15ULL) ^
-               (element * 0xC2B2AE3D27D4EB4FULL);
-  z ^= z >> 30;
-  z *= 0xBF58476D1CE4E5B9ULL;
-  z ^= z >> 27;
-  z *= 0x94D049BB133111EBULL;
-  z ^= z >> 31;
-  return z;
+  // splitmix64-style finalizer over a combined key; the definition lives
+  // in simd/portable_math.h so the vector kernels and this entry point
+  // cannot drift apart.
+  return simd::Mix64(seed, slot, element);
 }
 
 double MixUniform(uint64_t seed, uint64_t slot, uint64_t element,
                   uint64_t stream) {
-  const uint64_t h = MixHash(seed ^ (stream * 0xD6E8FEB86659FD93ULL), slot,
-                             element);
-  // Map to (0, 1]: (h >> 11) in [0, 2^53), +1 keeps it strictly positive.
-  return (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+  return simd::Uniform01(seed, slot, element, stream);
 }
 
 std::vector<size_t> PlainMinHashSelect(const std::vector<double>& weights,
@@ -45,16 +39,8 @@ std::vector<size_t> PlainMinHashSelect(const std::vector<double>& weights,
 
   std::vector<size_t> selected(num_slots);
   for (size_t j = 0; j < num_slots; ++j) {
-    size_t best = support[0];
-    uint64_t best_hash = MixHash(seed, j, best);
-    for (size_t k = 1; k < support.size(); ++k) {
-      const uint64_t h = MixHash(seed, j, support[k]);
-      if (h < best_hash) {
-        best_hash = h;
-        best = support[k];
-      }
-    }
-    selected[j] = best;
+    selected[j] = support[simd::PlainHashArgmin(support.data(),
+                                                support.size(), seed, j)];
   }
   return selected;
 }

@@ -7,73 +7,24 @@
 #include "core/check.h"
 #include "core/string_util.h"
 #include "hashing/minhash.h"
+#include "simd/minhash_kernels.h"
+#include "simd/portable_math.h"
 
 namespace eafe::hashing {
 namespace {
 
-// Stream ids for the independent uniform draws behind each scheme's
-// distributions. Distinct ids keep the draws independent across roles.
-enum Stream : uint64_t {
-  kStreamR1 = 1,
-  kStreamR2 = 2,
-  kStreamC1 = 3,
-  kStreamC2 = 4,
-  kStreamBeta = 5,
-  kStreamU = 6,
-};
-
-/// Gamma(2,1) variate from two independent uniforms: -ln(u1 * u2).
-double Gamma21(uint64_t seed, size_t slot, size_t element, uint64_t s1,
-               uint64_t s2) {
-  const double u1 = MixUniform(seed, slot, element, s1);
-  const double u2 = MixUniform(seed, slot, element, s2);
-  return -std::log(u1 * u2);
-}
-
-/// Ioffe's ICWS sampling value for one element; smaller wins. Takes the
-/// precomputed log(weight) — the per-element constant is hoisted out of
-/// the d-slot loop by the callers. Writes the quantization index to
-/// *t_out.
-double IcwsValue(double log_weight, uint64_t seed, size_t slot,
-                 size_t element, int64_t* t_out) {
-  const double r = Gamma21(seed, slot, element, kStreamR1, kStreamR2);
-  const double c = Gamma21(seed, slot, element, kStreamC1, kStreamC2);
-  const double beta = MixUniform(seed, slot, element, kStreamBeta);
-  const double t = std::floor(log_weight / r + beta);
-  const double ln_y = r * (t - beta);
-  const double ln_a = std::log(c) - ln_y - r;
-  *t_out = static_cast<int64_t>(t);
-  return ln_a;
-}
-
-/// PCWS: like ICWS but the numerator gamma is replaced by -ln(u), u
-/// uniform — cheaper per element (Wu et al., 2017). Takes log(weight).
-double PcwsValue(double log_weight, uint64_t seed, size_t slot,
-                 size_t element, int64_t* t_out) {
-  const double r = Gamma21(seed, slot, element, kStreamR1, kStreamR2);
-  const double u = MixUniform(seed, slot, element, kStreamU);
-  const double beta = MixUniform(seed, slot, element, kStreamBeta);
-  const double t = std::floor(log_weight / r + beta);
-  const double ln_y = r * (t - beta);
-  const double ln_a = std::log(-std::log(u)) - ln_y - r;
-  *t_out = static_cast<int64_t>(t);
-  return ln_a;
-}
-
-/// CCWS: quantizes the weight itself (not its log) on a Beta(1,2)-scaled
-/// grid (Wu et al., 2016).
-double CcwsValue(double weight, uint64_t seed, size_t slot, size_t element,
-                 int64_t* t_out) {
-  // Beta(1,2) = 1 - sqrt(u).
-  const double b = 1.0 - std::sqrt(MixUniform(seed, slot, element, kStreamR1));
-  const double r = std::max(b, 1e-12);
-  const double c = Gamma21(seed, slot, element, kStreamC1, kStreamC2);
-  const double beta = MixUniform(seed, slot, element, kStreamBeta);
-  const double t = std::floor(weight / (2.0 * r) + beta);
-  const double y = 2.0 * r * (t - beta);
-  const double a = c / (y + 2.0 * r);
-  *t_out = static_cast<int64_t>(t);
-  return std::log(a);
+/// The kernel-layer scheme for a CWS flavor. Licws maps to kIcws: it is
+/// ICWS sampling with the quantization index discarded afterwards, which
+/// does not change which element attains the minimum.
+simd::CwsKernelScheme KernelScheme(MinHashScheme scheme) {
+  switch (scheme) {
+    case MinHashScheme::kPcws:
+      return simd::CwsKernelScheme::kPcws;
+    case MinHashScheme::kCcws:
+      return simd::CwsKernelScheme::kCcws;
+    default:
+      return simd::CwsKernelScheme::kIcws;
+  }
 }
 
 }  // namespace
@@ -156,58 +107,52 @@ bool UsesLogWeights(MinHashScheme scheme) {
 
 /// log(w) per element (0 placeholder for non-positive weights, which are
 /// skipped during sampling). Computed once per feature, not once per
-/// (element, hash function).
+/// (element, hash function). Uses the kernel layer's PortableLog — the
+/// same function both dispatch tiers evaluate — so the sampling values
+/// are bit-identical at every EAFE_SIMD level.
 std::vector<double> LogWeights(const std::vector<double>& weights) {
   std::vector<double> logs(weights.size(), 0.0);
   for (size_t k = 0; k < weights.size(); ++k) {
-    if (weights[k] > 0.0) logs[k] = std::log(weights[k]);
+    if (weights[k] > 0.0) logs[k] = simd::PortableLog(weights[k]);
   }
   return logs;
 }
 
 /// One consistent sample with the per-element constants precomputed.
 /// `log_weights` may be empty for schemes that do not use it (CCWS).
+/// The min-reduction runs in the dispatched kernel; the winning
+/// element's quantization index is recomputed once here.
 CwsSample ConsistentSampleImpl(MinHashScheme scheme,
                                const std::vector<double>& weights,
                                const std::vector<double>& log_weights,
                                size_t slot, uint64_t seed) {
+  for (double w : weights) EAFE_CHECK_GE(w, 0.0);
+  const double* logs = log_weights.empty() ? nullptr : log_weights.data();
+  const size_t k = simd::CwsArgmin(KernelScheme(scheme), weights.data(),
+                                   logs, weights.size(), seed, slot);
+  EAFE_CHECK_MSG(k < weights.size(),
+                 "ConsistentSample needs a positive weight");
   CwsSample best;
-  double best_value = std::numeric_limits<double>::infinity();
-  bool any = false;
-  for (size_t k = 0; k < weights.size(); ++k) {
-    const double w = weights[k];
-    EAFE_CHECK_GE(w, 0.0);
-    if (w <= 0.0) continue;
-    int64_t t = 0;
-    double value;
-    switch (scheme) {
-      case MinHashScheme::kIcws:
-        value = IcwsValue(log_weights[k], seed, slot, k, &t);
-        break;
-      case MinHashScheme::kPcws:
-        value = PcwsValue(log_weights[k], seed, slot, k, &t);
-        break;
-      case MinHashScheme::kCcws:
-        value = CcwsValue(w, seed, slot, k, &t);
-        break;
-      case MinHashScheme::kLicws:
-        // 0-bit CWS: ICWS sampling with the quantization index discarded
-        // from the signature.
-        value = IcwsValue(log_weights[k], seed, slot, k, &t);
-        t = 0;
-        break;
-      default:
-        value = 0.0;
-        break;
-    }
-    if (!any || value < best_value) {
-      any = true;
-      best_value = value;
-      best.element = k;
-      best.quantization = t;
-    }
+  best.element = k;
+  switch (scheme) {
+    case MinHashScheme::kIcws:
+      best.quantization = static_cast<int64_t>(
+          simd::IcwsValueAt(log_weights[k], seed, slot, k).t);
+      break;
+    case MinHashScheme::kPcws:
+      best.quantization = static_cast<int64_t>(
+          simd::PcwsValueAt(log_weights[k], seed, slot, k).t);
+      break;
+    case MinHashScheme::kCcws:
+      best.quantization = static_cast<int64_t>(
+          simd::CcwsValueAt(weights[k], seed, slot, k).t);
+      break;
+    default:
+      // 0-bit CWS: ICWS sampling with the quantization index discarded
+      // from the signature.
+      best.quantization = 0;
+      break;
   }
-  EAFE_CHECK_MSG(any, "ConsistentSample needs a positive weight");
   return best;
 }
 
@@ -246,16 +191,8 @@ std::vector<size_t> WeightedMinHashSelect(MinHashScheme scheme,
     // Degenerate all-zero feature: fall back to uniform hashing so the
     // signature is still defined.
     for (size_t j = 0; j < num_slots; ++j) {
-      size_t best = 0;
-      uint64_t best_hash = MixHash(seed, j, 0);
-      for (size_t k = 1; k < weights.size(); ++k) {
-        const uint64_t h = MixHash(seed, j, k);
-        if (h < best_hash) {
-          best_hash = h;
-          best = k;
-        }
-      }
-      selected[j] = best;
+      selected[j] =
+          simd::PlainHashArgmin(nullptr, weights.size(), seed, j);
     }
     return selected;
   }

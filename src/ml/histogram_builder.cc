@@ -4,6 +4,7 @@
 
 #include "core/check.h"
 #include "runtime/thread_pool.h"
+#include "simd/histogram_kernels.h"
 
 namespace eafe::ml {
 namespace {
@@ -87,31 +88,26 @@ void HistogramBuilder::InitOffsets() {
 void HistogramBuilder::BuildFeatures(const std::vector<size_t>& indices,
                                      size_t begin, size_t end,
                                      Histogram* out) const {
+  // Accumulation runs in the dispatched kernels (simd/): class counts
+  // are bit-identical across tiers, regression triples are fixed-order
+  // at every tier, and gradient pairs carry the documented Σg/Σh
+  // tolerance contract (DESIGN.md §9).
   for (size_t f = begin; f < end; ++f) {
-    if (binner_->num_bins(f) < 2) continue;  // Constant column: no splits.
+    const size_t bins = binner_->num_bins(f);
+    if (bins < 2) continue;  // Constant column: no splits.
     const std::vector<uint8_t>& codes = binner_->codes(f);
     double* h = out->data.data() + offsets_[f];
     if (mode_ == Mode::kClassification) {
-      const size_t width = entry_width_;
-      const std::vector<int>& classes = labels_->classes;
-      for (size_t i : indices) {
-        h[codes[i] * width + static_cast<size_t>(classes[i])] += 1.0;
-      }
+      simd::AccumulateClassCounts(codes.data(), indices.data(),
+                                  indices.size(), labels_->classes.data(),
+                                  bins, entry_width_, h);
     } else if (mode_ == Mode::kRegression) {
-      for (size_t i : indices) {
-        const double value = (*y_)[i];
-        double* entry = h + codes[i] * 3;
-        entry[0] += 1.0;
-        entry[1] += value;
-        entry[2] += value * value;
-      }
+      simd::AccumulateSquares(codes.data(), indices.data(), indices.size(),
+                              y_->data(), h);
     } else {
-      for (size_t i : indices) {
-        double* entry = h + codes[i] * 3;
-        entry[0] += 1.0;
-        entry[1] += (*gradients_)[i];
-        entry[2] += (*hessians_)[i];
-      }
+      simd::AccumulateGradientPairs(codes.data(), indices.data(),
+                                    indices.size(), gradients_->data(),
+                                    hessians_->data(), bins, h);
     }
   }
 }
@@ -162,12 +158,10 @@ void HistogramBuilder::Subtract(const Histogram& parent,
     out->data.resize(parent.data.size());
     out->totals.resize(parent.totals.size());
   }
-  for (size_t i = 0; i < parent.data.size(); ++i) {
-    out->data[i] = parent.data[i] - sibling.data[i];
-  }
-  for (size_t i = 0; i < parent.totals.size(); ++i) {
-    out->totals[i] = parent.totals[i] - sibling.totals[i];
-  }
+  simd::SubtractArrays(parent.data.data(), sibling.data.data(),
+                       parent.data.size(), out->data.data());
+  simd::SubtractArrays(parent.totals.data(), sibling.totals.data(),
+                       parent.totals.size(), out->totals.data());
 }
 
 double HistogramBuilder::NodeImpurity(const Histogram& hist,
@@ -196,6 +190,22 @@ HistogramBuilder::Split HistogramBuilder::FindBestSplit(
     const size_t bins = binner_->num_bins(f);
     if (bins < 2) continue;
     const double* h = hist.data.data() + offsets_[f];
+    if (!classification) {
+      // The variance-reduction scan runs in the dispatched kernel; its
+      // per-feature winner is bit-identical to the inline loop this
+      // replaces (same empty-bin skips, min-leaf pruning, and expression
+      // tree). The strict > keeps the earliest feature on gain ties,
+      // matching the original single running compare.
+      const simd::SplitScan scan = simd::RegressionSplitScan(
+          h, bins, n, hist.totals[1], hist.totals[2], min_leaf,
+          parent_impurity);
+      if (scan.bin >= 0 && scan.gain > best.gain) {
+        best.gain = scan.gain;
+        best.feature = static_cast<int>(f);
+        best.bin = scan.bin;
+      }
+      continue;
+    }
     std::fill(left.begin(), left.end(), 0.0);
     double left_n = 0.0;
     // Boundary after bin b: left = bins [0, b], right = the rest. An
@@ -208,48 +218,27 @@ HistogramBuilder::Split HistogramBuilder::FindBestSplit(
     for (size_t b = 0; b + 1 < bins; ++b) {
       const double* entry = h + b * entry_width_;
       double bin_n = 0.0;
-      if (classification) {
-        for (size_t c = 0; c < entry_width_; ++c) bin_n += entry[c];
-      } else {
-        bin_n = entry[0];
-      }
+      for (size_t c = 0; c < entry_width_; ++c) bin_n += entry[c];
       if (bin_n <= 0.0) continue;  // Empty bin: duplicate boundary.
-      if (classification) {
-        for (size_t c = 0; c < entry_width_; ++c) left[c] += entry[c];
-      } else {
-        left[0] += entry[0];
-        left[1] += entry[1];
-        left[2] += entry[2];
-      }
+      for (size_t c = 0; c < entry_width_; ++c) left[c] += entry[c];
       left_n += bin_n;
       const double right_n = n - left_n;
       if (right_n <= 0.0 || right_n < min_leaf) break;
       if (left_n < min_leaf) continue;
 
-      double impurity;
       const double wl = left_n / n;
-      if (classification) {
-        double gini_right = 0.0;
-        {
-          double sum_sq = 0.0;
-          for (size_t c = 0; c < entry_width_; ++c) {
-            const double p = (hist.totals[c] - left[c]) / right_n;
-            sum_sq += p * p;
-          }
-          gini_right = 1.0 - sum_sq;
+      double gini_right = 0.0;
+      {
+        double sum_sq = 0.0;
+        for (size_t c = 0; c < entry_width_; ++c) {
+          const double p = (hist.totals[c] - left[c]) / right_n;
+          sum_sq += p * p;
         }
-        const double gini_left =
-            GiniFromCounts(left.data(), labels_->num_classes, left_n);
-        impurity = wl * gini_left + (1.0 - wl) * gini_right;
-      } else {
-        const double right_sum = hist.totals[1] - left[1];
-        const double right_sum2 = hist.totals[2] - left[2];
-        const double lm = left[1] / left_n;
-        const double rm = right_sum / right_n;
-        const double left_var = left[2] / left_n - lm * lm;
-        const double right_var = right_sum2 / right_n - rm * rm;
-        impurity = wl * left_var + (1.0 - wl) * right_var;
+        gini_right = 1.0 - sum_sq;
       }
+      const double gini_left =
+          GiniFromCounts(left.data(), labels_->num_classes, left_n);
+      const double impurity = wl * gini_left + (1.0 - wl) * gini_right;
       const double gain = parent_impurity - impurity;
       if (gain > best.gain) {
         best.gain = gain;
@@ -276,30 +265,17 @@ HistogramBuilder::Split HistogramBuilder::FindBestSplitGradient(
     const size_t bins = binner_->num_bins(f);
     if (bins < 2) continue;
     const double* h = hist.data.data() + offsets_[f];
-    double left_n = 0.0, left_g = 0.0, left_h = 0.0;
-    // Same scan shape as FindBestSplit: empty bins duplicate the previous
+    // The second-order gain scan runs in the dispatched kernel with the
+    // same shape as FindBestSplit's: empty bins duplicate the previous
     // boundary and are skipped; the scan stops once the right side drops
-    // below the leaf minimum.
-    for (size_t b = 0; b + 1 < bins; ++b) {
-      const double* entry = h + b * 3;
-      if (entry[0] <= 0.0) continue;  // Empty bin: duplicate boundary.
-      left_n += entry[0];
-      left_g += entry[1];
-      left_h += entry[2];
-      const double right_n = total_n - left_n;
-      if (right_n <= 0.0 || right_n < min_leaf) break;
-      if (left_n < min_leaf) continue;
-
-      const double right_g = total_g - left_g;
-      const double right_h = total_h - left_h;
-      const double gain =
-          0.5 * (left_g * left_g / (left_h + lambda) +
-                 right_g * right_g / (right_h + lambda) - parent_term);
-      if (gain > best.gain) {
-        best.gain = gain;
-        best.feature = static_cast<int>(f);
-        best.bin = static_cast<int>(b);
-      }
+    // below the leaf minimum. The chosen (bin, gain) is bit-identical
+    // across tiers; strict > keeps the earliest feature on ties.
+    const simd::SplitScan scan = simd::GradientSplitScan(
+        h, bins, total_n, total_g, total_h, min_leaf, lambda, parent_term);
+    if (scan.bin >= 0 && scan.gain > best.gain) {
+      best.gain = scan.gain;
+      best.feature = static_cast<int>(f);
+      best.bin = scan.bin;
     }
   }
   return best;

@@ -1,0 +1,283 @@
+#include "runtime/metrics.h"
+
+#include <atomic>
+#include <sstream>
+#include <utility>
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace eafe::runtime {
+namespace {
+
+// ---------------------------------------------------------------------
+// Void instruments: one shared no-op of each kind.
+
+class VoidCounter final : public MetricCounter {
+ public:
+  void Increment(uint64_t) override {}
+  uint64_t Value() const override { return 0; }
+};
+
+class VoidGauge final : public MetricGauge {
+ public:
+  void Set(double) override {}
+  void Add(double) override {}
+  double Value() const override { return 0.0; }
+};
+
+class VoidHistogram final : public MetricHistogram {
+ public:
+  void Observe(double) override {}
+  uint64_t Count() const override { return 0; }
+  double Sum() const override { return 0.0; }
+};
+
+class VoidGateway final : public MetricGateway {
+ public:
+  MetricCounter* Counter(const std::string&, const std::string&) override {
+    static VoidCounter counter;
+    return &counter;
+  }
+  MetricGauge* Gauge(const std::string&, const std::string&) override {
+    static VoidGauge gauge;
+    return &gauge;
+  }
+  MetricHistogram* Histogram(const std::string&, const std::string&,
+                             std::vector<double>) override {
+    static VoidHistogram histogram;
+    return &histogram;
+  }
+  std::string TextExposition() const override { return ""; }
+};
+
+// ---------------------------------------------------------------------
+// Recording instruments: relaxed atomics — metrics are monitoring data,
+// not synchronization, and hot paths must not serialize on them.
+
+class AtomicCounter final : public MetricCounter {
+ public:
+  void Increment(uint64_t delta) override {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const override {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class AtomicGauge final : public MetricGauge {
+ public:
+  void Set(double value) override {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(double delta) override {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const override {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class AtomicHistogram final : public MetricHistogram {
+ public:
+  explicit AtomicHistogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)),
+        buckets_(std::make_unique<std::atomic<uint64_t>[]>(bounds_.size())) {
+    for (size_t i = 0; i < bounds_.size(); ++i) buckets_[i].store(0);
+  }
+
+  void Observe(double value) override {
+    for (size_t i = 0; i < bounds_.size(); ++i) {
+      if (value <= bounds_[i]) {
+        buckets_[i].fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double current = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(current, current + value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t Count() const override {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double Sum() const override {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  /// Cumulative count of observations <= bounds_[i].
+  uint64_t CumulativeBucket(size_t i) const {
+    uint64_t total = 0;
+    for (size_t k = 0; k <= i; ++k) {
+      total += buckets_[k].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  const std::vector<double> bounds_;  ///< Ascending upper bounds.
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+std::vector<double> DefaultBuckets() {
+  return {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0};
+}
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+/// %g-style shortest form; Prometheus accepts plain decimal/scientific.
+std::string FormatSample(double value) { return StrFormat("%g", value); }
+
+}  // namespace
+
+MetricGateway* VoidMetrics() {
+  static VoidGateway* gateway = new VoidGateway();
+  return gateway;
+}
+
+// ---------------------------------------------------------------------
+// TextMetricGateway
+
+struct TextMetricGateway::Family {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind;
+  std::string help;
+  std::unique_ptr<AtomicCounter> counter;
+  std::unique_ptr<AtomicGauge> gauge;
+  std::unique_ptr<AtomicHistogram> histogram;
+};
+
+TextMetricGateway::TextMetricGateway() = default;
+TextMetricGateway::~TextMetricGateway() = default;
+
+MetricCounter* TextMetricGateway::Counter(const std::string& name,
+                                          const std::string& help) {
+  EAFE_CHECK_MSG(ValidMetricName(name), ("invalid metric name: " + name).c_str());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& family = families_[name];
+  if (family == nullptr) {
+    family = std::make_unique<Family>();
+    family->kind = Family::Kind::kCounter;
+    family->help = help;
+    family->counter = std::make_unique<AtomicCounter>();
+  }
+  EAFE_CHECK_MSG(family->kind == Family::Kind::kCounter,
+                 ("metric re-registered with another type: " + name).c_str());
+  return family->counter.get();
+}
+
+MetricGauge* TextMetricGateway::Gauge(const std::string& name,
+                                      const std::string& help) {
+  EAFE_CHECK_MSG(ValidMetricName(name), ("invalid metric name: " + name).c_str());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& family = families_[name];
+  if (family == nullptr) {
+    family = std::make_unique<Family>();
+    family->kind = Family::Kind::kGauge;
+    family->help = help;
+    family->gauge = std::make_unique<AtomicGauge>();
+  }
+  EAFE_CHECK_MSG(family->kind == Family::Kind::kGauge,
+                 ("metric re-registered with another type: " + name).c_str());
+  return family->gauge.get();
+}
+
+MetricHistogram* TextMetricGateway::Histogram(const std::string& name,
+                                              const std::string& help,
+                                              std::vector<double> buckets) {
+  EAFE_CHECK_MSG(ValidMetricName(name), ("invalid metric name: " + name).c_str());
+  if (buckets.empty()) buckets = DefaultBuckets();
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EAFE_CHECK_MSG(buckets[i - 1] < buckets[i],
+                   ("histogram buckets must ascend: " + name).c_str());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& family = families_[name];
+  if (family == nullptr) {
+    family = std::make_unique<Family>();
+    family->kind = Family::Kind::kHistogram;
+    family->help = help;
+    family->histogram =
+        std::make_unique<AtomicHistogram>(std::move(buckets));
+  }
+  EAFE_CHECK_MSG(family->kind == Family::Kind::kHistogram,
+                 ("metric re-registered with another type: " + name).c_str());
+  return family->histogram.get();
+}
+
+std::string TextMetricGateway::TextExposition() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, family] : families_) {
+    out << "# HELP " << name << " " << family->help << "\n";
+    switch (family->kind) {
+      case Family::Kind::kCounter:
+        out << "# TYPE " << name << " counter\n";
+        out << name << " " << family->counter->Value() << "\n";
+        break;
+      case Family::Kind::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        out << name << " " << FormatSample(family->gauge->Value()) << "\n";
+        break;
+      case Family::Kind::kHistogram: {
+        const AtomicHistogram& hist = *family->histogram;
+        out << "# TYPE " << name << " histogram\n";
+        const std::vector<double>& bounds = hist.bounds();
+        for (size_t i = 0; i < bounds.size(); ++i) {
+          out << name << "_bucket{le=\"" << FormatSample(bounds[i])
+              << "\"} " << hist.CumulativeBucket(i) << "\n";
+        }
+        out << name << "_bucket{le=\"+Inf\"} " << hist.Count() << "\n";
+        out << name << "_sum " << FormatSample(hist.Sum()) << "\n";
+        out << name << "_count " << hist.Count() << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------
+// Global gateway
+
+namespace {
+std::atomic<MetricGateway*>& GlobalMetricsSlot() {
+  static std::atomic<MetricGateway*> slot{nullptr};
+  return slot;
+}
+}  // namespace
+
+MetricGateway* GlobalMetrics() {
+  MetricGateway* gateway =
+      GlobalMetricsSlot().load(std::memory_order_acquire);
+  return gateway != nullptr ? gateway : VoidMetrics();
+}
+
+void SetGlobalMetrics(MetricGateway* gateway) {
+  GlobalMetricsSlot().store(gateway, std::memory_order_release);
+}
+
+}  // namespace eafe::runtime

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "runtime/metrics.h"
+
 namespace eafe::runtime {
 namespace {
 
@@ -22,7 +24,15 @@ uint64_t MixKey(uint64_t x) {
 
 }  // namespace
 
-ScoreCache::ScoreCache(const Options& options) {
+ScoreCache::ScoreCache(const Options& options)
+    : metric_hits_(GlobalMetrics()->Counter("eafe_cache_hits_total",
+                                            "Score cache lookup hits")),
+      metric_misses_(GlobalMetrics()->Counter("eafe_cache_misses_total",
+                                              "Score cache lookup misses")),
+      metric_insertions_(GlobalMetrics()->Counter(
+          "eafe_cache_insertions_total", "Score cache insertions")),
+      metric_evictions_(GlobalMetrics()->Counter(
+          "eafe_cache_evictions_total", "Score cache LRU evictions")) {
   const size_t shard_count =
       NextPowerOfTwo(std::max<size_t>(options.shards, 1));
   shards_.reserve(shard_count);
@@ -43,9 +53,11 @@ std::optional<double> ScoreCache::Lookup(uint64_t key) {
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    metric_misses_->Increment();
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  metric_hits_->Increment();
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->second;
 }
@@ -62,10 +74,12 @@ void ScoreCache::Insert(uint64_t key, double score) {
   shard.lru.emplace_front(key, score);
   shard.index.emplace(key, shard.lru.begin());
   insertions_.fetch_add(1, std::memory_order_relaxed);
+  metric_insertions_->Increment();
   if (shard.lru.size() > shard_capacity_) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    metric_evictions_->Increment();
   }
 }
 

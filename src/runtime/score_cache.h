@@ -14,6 +14,8 @@
 
 namespace eafe::runtime {
 
+class MetricCounter;
+
 /// Thread-safe sharded LRU map from a 64-bit signature to a score. The
 /// evaluation service keys it by the canonical transformation-signature
 /// hash of (evaluator config, feature-set state, candidate), so a
@@ -81,6 +83,12 @@ class ScoreCache {
   std::atomic<size_t> misses_{0};
   std::atomic<size_t> insertions_{0};
   std::atomic<size_t> evictions_{0};
+  /// Mirrors of the counters above in the process-wide metric gateway,
+  /// captured from GlobalMetrics() at construction; owned by the gateway.
+  MetricCounter* metric_hits_;
+  MetricCounter* metric_misses_;
+  MetricCounter* metric_insertions_;
+  MetricCounter* metric_evictions_;
 };
 
 }  // namespace eafe::runtime

@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "runtime/metrics.h"
+
 namespace eafe::runtime {
 namespace {
 
@@ -24,7 +26,11 @@ size_t ResolveThreads(size_t requested) {
 }  // namespace
 
 ThreadPool::ThreadPool(const Options& options)
-    : rng_seed_(options.rng_seed) {
+    : rng_seed_(options.rng_seed),
+      tasks_total_(GlobalMetrics()->Counter(
+          "eafe_pool_tasks_total", "Tasks executed by pool workers")),
+      busy_workers_(GlobalMetrics()->Gauge(
+          "eafe_pool_busy_workers", "Pool workers currently running a task")) {
   const size_t count = ResolveThreads(options.num_threads);
   workers_.reserve(count);
   for (size_t i = 0; i < count; ++i) {
@@ -67,7 +73,10 @@ void ThreadPool::WorkerMain(size_t index) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    busy_workers_->Add(1.0);
     task();  // Exceptions land in the task's future.
+    busy_workers_->Add(-1.0);
+    tasks_total_->Increment();
   }
   tls_worker_index = -1;
   tls_worker_rng = nullptr;

@@ -15,6 +15,9 @@
 
 namespace eafe::runtime {
 
+class MetricCounter;
+class MetricGauge;
+
 /// Fixed-size worker pool with a FIFO task queue — the shared execution
 /// substrate for candidate evaluation, cross-validation folds, and
 /// per-tree forest training.
@@ -76,6 +79,11 @@ class ThreadPool {
   std::condition_variable cv_;
   bool shutdown_ = false;
   uint64_t rng_seed_;
+  /// Occupancy instruments, captured from GlobalMetrics() at
+  /// construction (no-ops unless a recording gateway is installed
+  /// first); owned by the gateway.
+  MetricCounter* tasks_total_;
+  MetricGauge* busy_workers_;
 };
 
 /// Runs fn(begin, end) over a static contiguous partition of [0, n): block

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/status.h"
 #include "fpe/fpe_model.h"
@@ -75,10 +76,15 @@ struct LoadedModel {
   std::optional<fpe::FpeModel> fpe;
 };
 
-/// Decodes container bytes (or a legacy v1 FPE text file).
-Result<LoadedModel> DeserializeModel(const std::string& bytes);
+/// Decodes container bytes (or a legacy v1 FPE text file). Takes a view:
+/// decoding never needs to own the bytes, so LoadModel can parse straight
+/// out of a memory-mapped file without a heap copy.
+Result<LoadedModel> DeserializeModel(std::string_view bytes);
 
-/// File convenience wrappers.
+/// File convenience wrappers. LoadModel memory-maps the file and decodes
+/// in place where the platform supports it (POSIX mmap), falling back to
+/// a buffered read anywhere mapping is unavailable or fails — both paths
+/// produce identical models, the mapped one just skips the byte copy.
 Status SaveModel(const ml::RandomForest& forest, const std::string& path);
 Status SaveModel(const ml::GradientBoostedTrees& booster,
                  const std::string& path);

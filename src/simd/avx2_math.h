@@ -1,0 +1,125 @@
+#ifndef EAFE_SIMD_AVX2_MATH_H_
+#define EAFE_SIMD_AVX2_MATH_H_
+
+// Lane-exact AVX2 mirrors of portable_math.h. Only the *_avx2.cc kernel
+// TUs include this header: they are the only translation units compiled
+// with -mavx2 (and -ffp-contract=off, so no fused multiply-adds can
+// sneak into the scalar-mirroring expressions). Each function documents
+// the scalar it replicates; the bit-identity contract is "same IEEE-754
+// operation sequence per lane", which holds because every operation used
+// (add/sub/mul/div/sqrt/floor/max, integer mixes, exact int<->double
+// conversions below 2^53) is exactly rounded in both forms.
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "simd/portable_math.h"
+
+namespace eafe::simd::avx2 {
+
+/// 64x64 -> low-64 multiply from 32x32 products (no vpmullq pre-AVX512).
+inline __m256i MulLo64(__m256i a, __m256i b) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a, b_hi),
+                                         _mm256_mul_epu32(a_hi, b));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// Mix64 with the (seed ^ stream-salt) ^ slot*kMixSlotMul key prefolded
+/// into `key` and element*kMixElementMul in `ek` — integer ops, so the
+/// lanes equal the scalar hash exactly.
+inline __m256i Mix64Vec(__m256i key, __m256i ek) {
+  __m256i z = _mm256_xor_si256(key, ek);
+  z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 30));
+  z = MulLo64(z, _mm256_set1_epi64x(static_cast<long long>(kMixFinal1)));
+  z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 27));
+  z = MulLo64(z, _mm256_set1_epi64x(static_cast<long long>(kMixFinal2)));
+  z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+  return z;
+}
+
+/// u64 -> double, exact for values < 2^53 (Mysticial's magic-number
+/// split), matching static_cast<double> on those values bit for bit.
+inline __m256d U64ToDouble(__m256i v) {
+  const __m256i hi = _mm256_or_si256(
+      _mm256_srli_epi64(v, 32),
+      _mm256_castpd_si256(_mm256_set1_pd(0x1.0p84)));
+  const __m256i lo = _mm256_blend_epi32(
+      _mm256_castpd_si256(_mm256_set1_pd(0x1.0p52)), v, 0x55);
+  const __m256d hi_d = _mm256_sub_pd(_mm256_castsi256_pd(hi),
+                                     _mm256_set1_pd(0x1.00000001p84));
+  return _mm256_add_pd(hi_d, _mm256_castsi256_pd(lo));
+}
+
+/// UnitFromHash per lane: (double(h >> 11) + 1.0) * 2^-53.
+inline __m256d UnitFromHashVec(__m256i h) {
+  const __m256d d = U64ToDouble(_mm256_srli_epi64(h, 11));
+  return _mm256_mul_pd(_mm256_add_pd(d, _mm256_set1_pd(1.0)),
+                       _mm256_set1_pd(0x1.0p-53));
+}
+
+inline __m256d Neg(__m256d v) {
+  return _mm256_xor_pd(v, _mm256_set1_pd(-0.0));
+}
+
+/// PortableLog per lane — the same reduction, polynomial, and operation
+/// order as the scalar (keep the two in sync). Lanes with x <= 0
+/// (including -0.0) come back -inf.
+inline __m256d PortableLogVec(__m256d x) {
+  const __m256d nonpos = _mm256_cmp_pd(x, _mm256_setzero_pd(), _CMP_LE_OQ);
+  const __m256d tiny =
+      _mm256_cmp_pd(x, _mm256_set1_pd(kLogTiny), _CMP_LT_OQ);
+  x = _mm256_blendv_pd(
+      x, _mm256_mul_pd(x, _mm256_set1_pd(kLogTinyScale)), tiny);
+  const __m256d eadj = _mm256_and_pd(tiny, _mm256_set1_pd(54.0));
+  const __m256i bits = _mm256_castpd_si256(x);
+  // Exponent field to double through the 2^52 magic (exact: 0..2047).
+  const __m256i exp_i = _mm256_and_si256(_mm256_srli_epi64(bits, 52),
+                                         _mm256_set1_epi64x(0x7FF));
+  const __m256d exp_d = _mm256_sub_pd(
+      _mm256_castsi256_pd(_mm256_or_si256(
+          exp_i, _mm256_castpd_si256(_mm256_set1_pd(0x1.0p52)))),
+      _mm256_set1_pd(0x1.0p52));
+  const __m256d e = _mm256_sub_pd(
+      _mm256_sub_pd(exp_d, _mm256_set1_pd(1023.0)), eadj);
+  __m256d m = _mm256_castsi256_pd(_mm256_or_si256(
+      _mm256_and_si256(bits, _mm256_set1_epi64x(0xFFFFFFFFFFFFFLL)),
+      _mm256_castpd_si256(_mm256_set1_pd(1.0))));
+  const __m256d big = _mm256_cmp_pd(m, _mm256_set1_pd(kSqrt2), _CMP_GT_OQ);
+  m = _mm256_blendv_pd(m, _mm256_mul_pd(m, _mm256_set1_pd(0.5)), big);
+  const __m256d e2 =
+      _mm256_add_pd(e, _mm256_and_pd(big, _mm256_set1_pd(1.0)));
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d z =
+      _mm256_div_pd(_mm256_sub_pd(m, one), _mm256_add_pd(m, one));
+  const __m256d w = _mm256_mul_pd(z, z);
+  __m256d p = _mm256_set1_pd(kLogC15);
+  p = _mm256_add_pd(_mm256_mul_pd(p, w), _mm256_set1_pd(kLogC13));
+  p = _mm256_add_pd(_mm256_mul_pd(p, w), _mm256_set1_pd(kLogC11));
+  p = _mm256_add_pd(_mm256_mul_pd(p, w), _mm256_set1_pd(kLogC9));
+  p = _mm256_add_pd(_mm256_mul_pd(p, w), _mm256_set1_pd(kLogC7));
+  p = _mm256_add_pd(_mm256_mul_pd(p, w), _mm256_set1_pd(kLogC5));
+  p = _mm256_add_pd(_mm256_mul_pd(p, w), _mm256_set1_pd(kLogC3));
+  p = _mm256_add_pd(_mm256_mul_pd(p, w), _mm256_set1_pd(kLogC1));
+  const __m256d poly = _mm256_mul_pd(z, p);
+  const __m256d scaled = _mm256_mul_pd(e2, _mm256_set1_pd(kLn2));
+  const __m256d result = _mm256_add_pd(poly, scaled);
+  return _mm256_blendv_pd(
+      result,
+      _mm256_set1_pd(-std::numeric_limits<double>::infinity()), nonpos);
+}
+
+/// Gamma21P per lane: -PortableLog(u1 * u2).
+inline __m256d Gamma21Vec(__m256i key1, __m256i key2, __m256i ek) {
+  const __m256d u1 = UnitFromHashVec(Mix64Vec(key1, ek));
+  const __m256d u2 = UnitFromHashVec(Mix64Vec(key2, ek));
+  return Neg(PortableLogVec(_mm256_mul_pd(u1, u2)));
+}
+
+}  // namespace eafe::simd::avx2
+
+#endif  // EAFE_SIMD_AVX2_MATH_H_

@@ -1,0 +1,445 @@
+#include <cstdint>
+#include <vector>
+
+#include "simd/histogram_kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <limits>
+
+namespace eafe::simd::internal {
+namespace {
+
+/// Eight interleaved sub-histogram copies break the store-to-load
+/// dependency chains that serialize scatter-increments when consecutive
+/// rows hit the same bin (the forward-add-forward link costs ~9 cycles;
+/// interleaving k copies overlaps k links). Copy families above this
+/// cell count fall back to one copy so thread-local scratch stays
+/// L1/L2-sized.
+constexpr size_t kMaxInterleavedCells = 16384;
+constexpr size_t kInterleave = 8;
+
+/// Reused per thread: zeroing scratch is part of the kernel cost, so the
+/// allocation itself should not be.
+std::vector<uint32_t>& CountScratch() {
+  thread_local std::vector<uint32_t> scratch;
+  return scratch;
+}
+
+std::vector<double>& PairScratch() {
+  thread_local std::vector<double> scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void AccumulateClassCountsAvx2(const uint8_t* codes, const size_t* indices,
+                               size_t n, const int* classes, size_t bins,
+                               size_t width, double* out) {
+  const size_t cells = bins * width;
+  // Counting in uint32 halves the store traffic of the double loop and
+  // turns each row into one add; the double merge below is exact because
+  // counts are integers < 2^31. Small nodes skip the scratch-zeroing
+  // overhead, and gigarow nodes would overflow uint32 — both take the
+  // scalar path (the choice depends only on (n, bins, width), so results
+  // stay deterministic).
+  if (n < cells || n > static_cast<size_t>(INT32_MAX)) {
+    AccumulateClassCountsScalar(codes, indices, n, classes, width, out);
+    return;
+  }
+  const bool interleave = cells * kInterleave <= kMaxInterleavedCells;
+  std::vector<uint32_t>& scratch = CountScratch();
+  scratch.assign(cells * (interleave ? kInterleave : 1), 0);
+  uint32_t* s0 = scratch.data();
+  size_t i = 0;
+  if (interleave) {
+    for (; i + kInterleave <= n; i += kInterleave) {
+      for (size_t k = 0; k < kInterleave; ++k) {
+        const size_t row = indices[i + k];
+        ++s0[k * cells + codes[row] * width +
+             static_cast<size_t>(classes[row])];
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    const size_t row = indices[i];
+    ++s0[codes[row] * width + static_cast<size_t>(classes[row])];
+  }
+  // Merge: sum the copies in uint32 (exact), widen to double (exact for
+  // < 2^31), add into out.
+  const size_t copies = interleave ? kInterleave : 1;
+  size_t j = 0;
+  for (; j + 8 <= cells; j += 8) {
+    __m256i t = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(s0 + j));  // eafe-lint: allow(raw-deserialize): vector load/store pointer cast, in-process.
+    for (size_t c = 1; c < copies; ++c) {
+      t = _mm256_add_epi32(
+          t,
+          _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(s0 + c * cells + j)));  // eafe-lint: allow(raw-deserialize): vector load/store pointer cast, in-process.
+    }
+    const __m256d lo = _mm256_cvtepi32_pd(_mm256_castsi256_si128(t));
+    const __m256d hi = _mm256_cvtepi32_pd(_mm256_extracti128_si256(t, 1));
+    _mm256_storeu_pd(out + j,
+                     _mm256_add_pd(_mm256_loadu_pd(out + j), lo));
+    _mm256_storeu_pd(out + j + 4,
+                     _mm256_add_pd(_mm256_loadu_pd(out + j + 4), hi));
+  }
+  for (; j < cells; ++j) {
+    uint32_t total = 0;
+    for (size_t c = 0; c < copies; ++c) total += s0[c * cells + j];
+    out[j] += static_cast<double>(total);
+  }
+}
+
+void AccumulateGradientPairsAvx2(const uint8_t* codes,
+                                 const size_t* indices, size_t n,
+                                 const double* g, const double* h,
+                                 size_t bins, double* out) {
+  // Split layout: counts as uint32 (one-uop increments, exact merge) and
+  // (Σg, Σh) as adjacent double pairs touched by a single __m128d
+  // add — three scalar adds per row become one int inc + one vector
+  // add. Interleaved copies cost extra zeroing + a merge pass; below 4
+  // rows per bin, or above the uint32 count range, the scalar loop
+  // wins/is required. Deterministic in (n, bins) only. This is the
+  // documented tolerance kernel: the merge reassociates each bin's
+  // Σg/Σh relative to the scalar row-order sum.
+  if (n < 4 * bins || bins * kInterleave > kMaxInterleavedCells ||
+      n > static_cast<size_t>(INT32_MAX)) {
+    AccumulateGradientPairsScalar(codes, indices, n, g, h, out);
+    return;
+  }
+  std::vector<uint32_t>& counts = CountScratch();
+  counts.assign(bins * kInterleave, 0);
+  std::vector<double>& pairs = PairScratch();
+  pairs.assign(bins * 2 * kInterleave, 0.0);
+  uint32_t* cnt = counts.data();
+  double* pr = pairs.data();
+  size_t i = 0;
+  for (; i + kInterleave <= n; i += kInterleave) {
+    for (size_t k = 0; k < kInterleave; ++k) {
+      const size_t row = indices[i + k];
+      const size_t c = codes[row];
+      ++cnt[k * bins + c];
+      double* e = pr + (k * bins + c) * 2;
+      _mm_storeu_pd(e, _mm_add_pd(_mm_loadu_pd(e),
+                                  _mm_set_pd(h[row], g[row])));
+    }
+  }
+  for (; i < n; ++i) {
+    const size_t row = indices[i];
+    const size_t c = codes[row];
+    ++cnt[c];
+    double* e = pr + c * 2;
+    _mm_storeu_pd(e, _mm_add_pd(_mm_loadu_pd(e),
+                                _mm_set_pd(h[row], g[row])));
+  }
+  // Counts merge exactly (integers < 2^31 widen losslessly); pair sums
+  // carry the tolerance contract.
+  for (size_t b = 0; b < bins; ++b) {
+    uint32_t total = 0;
+    __m128d pair = _mm_setzero_pd();
+    for (size_t k = 0; k < kInterleave; ++k) {
+      total += cnt[k * bins + b];
+      pair = _mm_add_pd(pair, _mm_loadu_pd(pr + (k * bins + b) * 2));
+    }
+    double* entry = out + b * 3;
+    entry[0] += static_cast<double>(total);
+    alignas(16) double gh[2];
+    _mm_store_pd(gh, pair);
+    entry[1] += gh[0];
+    entry[2] += gh[1];
+  }
+}
+
+void SubtractArraysAvx2(const double* a, const double* b, size_t n,
+                        double* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+namespace {
+
+/// Shared tail of both vector scans: fold the lane bests (gain
+/// descending, boundary ascending — first-tie-wins) into a SplitScan,
+/// then let the caller finish remainder boundaries scalar.
+struct LaneFold {
+  double gain = 0.0;
+  size_t bin;  // Sentinel (>= bins) when no lane won.
+
+  explicit LaneFold(size_t sentinel) : bin(sentinel) {}
+
+  void Fold(__m256d best_g, __m256i best_b) {
+    alignas(32) double gains[4];
+    alignas(32) long long lanes[4];
+    _mm256_store_pd(gains, best_g);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), best_b);  // eafe-lint: allow(raw-deserialize): vector load/store pointer cast, in-process.
+    for (int lane = 0; lane < 4; ++lane) {
+      const auto b = static_cast<size_t>(lanes[lane]);
+      if (gains[lane] > gain || (gains[lane] == gain && b < bin)) {
+        gain = gains[lane];
+        bin = b;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+SplitScan GradientSplitScanAvx2(const double* h, size_t bins,
+                                double total_n, double total_g,
+                                double total_h, double min_leaf,
+                                double lambda, double parent_term) {
+  // The binner caps bins at 256; anything larger is a caller bug but
+  // degrades to the scalar scan rather than overrunning the stack.
+  if (bins > 256) {
+    return GradientSplitScanScalar(h, bins, total_n, total_g, total_h,
+                                   min_leaf, lambda, parent_term);
+  }
+  const size_t boundaries = bins - 1;
+  // Gated sequential prefixes: adds happen in exactly the scalar scan's
+  // order (empty bins contribute nothing), so every boundary's left
+  // sums are bit-identical to the scalar running sums.
+  alignas(32) double pn[256];
+  alignas(32) double pg[256];
+  alignas(32) double ph[256];
+  alignas(32) double ok[256];
+  double left_n = 0.0, left_g = 0.0, left_h = 0.0;
+  for (size_t b = 0; b < boundaries; ++b) {
+    const double* entry = h + b * 3;
+    if (entry[0] > 0.0) {
+      left_n += entry[0];
+      left_g += entry[1];
+      left_h += entry[2];
+      ok[b] = 1.0;
+    } else {
+      ok[b] = 0.0;
+    }
+    pn[b] = left_n;
+    pg[b] = left_g;
+    ph[b] = left_h;
+  }
+  const __m256d neg_inf =
+      _mm256_set1_pd(-std::numeric_limits<double>::infinity());
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d half_v = _mm256_set1_pd(0.5);
+  const __m256d tn = _mm256_set1_pd(total_n);
+  const __m256d tg = _mm256_set1_pd(total_g);
+  const __m256d th = _mm256_set1_pd(total_h);
+  const __m256d ml = _mm256_set1_pd(min_leaf);
+  const __m256d lv = _mm256_set1_pd(lambda);
+  const __m256d pt = _mm256_set1_pd(parent_term);
+  __m256d best_g = zero;  // Only gains > 0 matter to the builder.
+  __m256i best_b = _mm256_set1_epi64x(static_cast<long long>(bins));
+  __m256i bidx = _mm256_setr_epi64x(0, 1, 2, 3);
+  const __m256i bstep = _mm256_set1_epi64x(4);
+  size_t b = 0;
+  for (; b + 4 <= boundaries; b += 4) {
+    const __m256d ln = _mm256_loadu_pd(pn + b);
+    const __m256d lg = _mm256_loadu_pd(pg + b);
+    const __m256d lh = _mm256_loadu_pd(ph + b);
+    const __m256d rn = _mm256_sub_pd(tn, ln);
+    const __m256d rg = _mm256_sub_pd(tg, lg);
+    const __m256d rh = _mm256_sub_pd(th, lh);
+    const __m256d left_term =
+        _mm256_div_pd(_mm256_mul_pd(lg, lg), _mm256_add_pd(lh, lv));
+    const __m256d right_term =
+        _mm256_div_pd(_mm256_mul_pd(rg, rg), _mm256_add_pd(rh, lv));
+    const __m256d gain = _mm256_mul_pd(
+        half_v,
+        _mm256_sub_pd(_mm256_add_pd(left_term, right_term), pt));
+    // The scalar scan's continue/break conditions as masks: break is
+    // monotone (right_n only shrinks), so masking equals breaking.
+    const __m256d valid = _mm256_and_pd(
+        _mm256_and_pd(
+            _mm256_cmp_pd(_mm256_loadu_pd(ok + b), half_v, _CMP_GT_OQ),
+            _mm256_cmp_pd(rn, zero, _CMP_GT_OQ)),
+        _mm256_and_pd(_mm256_cmp_pd(rn, ml, _CMP_GE_OQ),
+                      _mm256_cmp_pd(ln, ml, _CMP_GE_OQ)));
+    const __m256d gain_m = _mm256_blendv_pd(neg_inf, gain, valid);
+    const __m256d upd = _mm256_cmp_pd(gain_m, best_g, _CMP_GT_OQ);
+    best_g = _mm256_blendv_pd(best_g, gain_m, upd);
+    best_b = _mm256_blendv_epi8(best_b, bidx, _mm256_castpd_si256(upd));
+    bidx = _mm256_add_epi64(bidx, bstep);
+  }
+  LaneFold fold(bins);
+  fold.Fold(best_g, best_b);
+  for (; b < boundaries; ++b) {
+    if (!(ok[b] > 0.5)) continue;
+    const double ln = pn[b];
+    const double rn = total_n - ln;
+    if (rn <= 0.0 || rn < min_leaf || ln < min_leaf) continue;
+    const double lg = pg[b];
+    const double lh = ph[b];
+    const double rg = total_g - lg;
+    const double rh = total_h - lh;
+    const double gain =
+        0.5 * (lg * lg / (lh + lambda) + rg * rg / (rh + lambda) -
+               parent_term);
+    if (gain > fold.gain) {
+      fold.gain = gain;
+      fold.bin = b;
+    }
+  }
+  SplitScan best;
+  if (fold.bin < bins) {
+    best.bin = static_cast<int>(fold.bin);
+    best.gain = fold.gain;
+  }
+  return best;
+}
+
+SplitScan RegressionSplitScanAvx2(const double* h, size_t bins, double n,
+                                  double total_sum, double total_sum2,
+                                  double min_leaf,
+                                  double parent_impurity) {
+  if (bins > 256) {
+    return RegressionSplitScanScalar(h, bins, n, total_sum, total_sum2,
+                                     min_leaf, parent_impurity);
+  }
+  const size_t boundaries = bins - 1;
+  alignas(32) double pn[256];
+  alignas(32) double p1[256];
+  alignas(32) double p2[256];
+  alignas(32) double ok[256];
+  double left_n = 0.0, left_sum = 0.0, left_sum2 = 0.0;
+  for (size_t b = 0; b < boundaries; ++b) {
+    const double* entry = h + b * 3;
+    if (entry[0] > 0.0) {
+      left_n += entry[0];
+      left_sum += entry[1];
+      left_sum2 += entry[2];
+      ok[b] = 1.0;
+    } else {
+      ok[b] = 0.0;
+    }
+    pn[b] = left_n;
+    p1[b] = left_sum;
+    p2[b] = left_sum2;
+  }
+  const __m256d neg_inf =
+      _mm256_set1_pd(-std::numeric_limits<double>::infinity());
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d half_v = _mm256_set1_pd(0.5);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d nv = _mm256_set1_pd(n);
+  const __m256d ts1 = _mm256_set1_pd(total_sum);
+  const __m256d ts2 = _mm256_set1_pd(total_sum2);
+  const __m256d ml = _mm256_set1_pd(min_leaf);
+  const __m256d pi = _mm256_set1_pd(parent_impurity);
+  __m256d best_g = zero;
+  __m256i best_b = _mm256_set1_epi64x(static_cast<long long>(bins));
+  __m256i bidx = _mm256_setr_epi64x(0, 1, 2, 3);
+  const __m256i bstep = _mm256_set1_epi64x(4);
+  size_t b = 0;
+  for (; b + 4 <= boundaries; b += 4) {
+    const __m256d ln = _mm256_loadu_pd(pn + b);
+    const __m256d l1 = _mm256_loadu_pd(p1 + b);
+    const __m256d l2 = _mm256_loadu_pd(p2 + b);
+    const __m256d rn = _mm256_sub_pd(nv, ln);
+    const __m256d wl = _mm256_div_pd(ln, nv);
+    const __m256d rs = _mm256_sub_pd(ts1, l1);
+    const __m256d rs2 = _mm256_sub_pd(ts2, l2);
+    const __m256d lm = _mm256_div_pd(l1, ln);
+    const __m256d rm = _mm256_div_pd(rs, rn);
+    const __m256d lvar =
+        _mm256_sub_pd(_mm256_div_pd(l2, ln), _mm256_mul_pd(lm, lm));
+    const __m256d rvar =
+        _mm256_sub_pd(_mm256_div_pd(rs2, rn), _mm256_mul_pd(rm, rm));
+    const __m256d impurity =
+        _mm256_add_pd(_mm256_mul_pd(wl, lvar),
+                      _mm256_mul_pd(_mm256_sub_pd(one, wl), rvar));
+    const __m256d gain = _mm256_sub_pd(pi, impurity);
+    const __m256d valid = _mm256_and_pd(
+        _mm256_and_pd(
+            _mm256_cmp_pd(_mm256_loadu_pd(ok + b), half_v, _CMP_GT_OQ),
+            _mm256_cmp_pd(rn, zero, _CMP_GT_OQ)),
+        _mm256_and_pd(_mm256_cmp_pd(rn, ml, _CMP_GE_OQ),
+                      _mm256_cmp_pd(ln, ml, _CMP_GE_OQ)));
+    const __m256d gain_m = _mm256_blendv_pd(neg_inf, gain, valid);
+    const __m256d upd = _mm256_cmp_pd(gain_m, best_g, _CMP_GT_OQ);
+    best_g = _mm256_blendv_pd(best_g, gain_m, upd);
+    best_b = _mm256_blendv_epi8(best_b, bidx, _mm256_castpd_si256(upd));
+    bidx = _mm256_add_epi64(bidx, bstep);
+  }
+  LaneFold fold(bins);
+  fold.Fold(best_g, best_b);
+  for (; b < boundaries; ++b) {
+    if (!(ok[b] > 0.5)) continue;
+    const double ln = pn[b];
+    const double rn = n - ln;
+    if (rn <= 0.0 || rn < min_leaf || ln < min_leaf) continue;
+    const double wl = ln / n;
+    const double rs = total_sum - p1[b];
+    const double rs2 = total_sum2 - p2[b];
+    const double lm = p1[b] / ln;
+    const double rm = rs / rn;
+    const double lvar = p2[b] / ln - lm * lm;
+    const double rvar = rs2 / rn - rm * rm;
+    const double impurity = wl * lvar + (1.0 - wl) * rvar;
+    const double gain = parent_impurity - impurity;
+    if (gain > fold.gain) {
+      fold.gain = gain;
+      fold.bin = b;
+    }
+  }
+  SplitScan best;
+  if (fold.bin < bins) {
+    best.bin = static_cast<int>(fold.bin);
+    best.gain = fold.gain;
+  }
+  return best;
+}
+
+}  // namespace eafe::simd::internal
+
+#else  // !x86: the dispatcher never selects this tier; delegate anyway.
+
+namespace eafe::simd::internal {
+
+void AccumulateClassCountsAvx2(const uint8_t* codes, const size_t* indices,
+                               size_t n, const int* classes, size_t bins,
+                               size_t width, double* out) {
+  (void)bins;
+  AccumulateClassCountsScalar(codes, indices, n, classes, width, out);
+}
+
+void AccumulateGradientPairsAvx2(const uint8_t* codes,
+                                 const size_t* indices, size_t n,
+                                 const double* g, const double* h,
+                                 size_t bins, double* out) {
+  (void)bins;
+  AccumulateGradientPairsScalar(codes, indices, n, g, h, out);
+}
+
+void SubtractArraysAvx2(const double* a, const double* b, size_t n,
+                        double* out) {
+  SubtractArraysScalar(a, b, n, out);
+}
+
+SplitScan GradientSplitScanAvx2(const double* h, size_t bins,
+                                double total_n, double total_g,
+                                double total_h, double min_leaf,
+                                double lambda, double parent_term) {
+  return GradientSplitScanScalar(h, bins, total_n, total_g, total_h,
+                                 min_leaf, lambda, parent_term);
+}
+
+SplitScan RegressionSplitScanAvx2(const double* h, size_t bins, double n,
+                                  double total_sum, double total_sum2,
+                                  double min_leaf,
+                                  double parent_impurity) {
+  return RegressionSplitScanScalar(h, bins, n, total_sum, total_sum2,
+                                   min_leaf, parent_impurity);
+}
+
+}  // namespace eafe::simd::internal
+
+#endif

@@ -1,0 +1,84 @@
+#include "simd/minhash_kernels.h"
+
+#include <limits>
+
+#include "simd/portable_math.h"
+#include "simd/simd.h"
+
+namespace eafe::simd {
+namespace internal {
+
+size_t CwsArgminScalar(CwsKernelScheme scheme, const double* weights,
+                       const double* log_weights, size_t n, uint64_t seed,
+                       uint64_t slot) {
+  double best_value = std::numeric_limits<double>::infinity();
+  size_t best = n;
+  // Sampling values are always finite (PortableLog never returns +inf
+  // for the inputs the schemes produce), so a plain strict < against an
+  // inf sentinel keeps first-minimum semantics.
+  for (size_t k = 0; k < n; ++k) {
+    if (weights[k] <= 0.0) continue;
+    double value;
+    switch (scheme) {
+      case CwsKernelScheme::kIcws:
+        value = IcwsValueAt(log_weights[k], seed, slot, k).value;
+        break;
+      case CwsKernelScheme::kPcws:
+        value = PcwsValueAt(log_weights[k], seed, slot, k).value;
+        break;
+      default:
+        value = CcwsValueAt(weights[k], seed, slot, k).value;
+        break;
+    }
+    if (value < best_value) {
+      best_value = value;
+      best = k;
+    }
+  }
+  return best;
+}
+
+size_t PlainHashArgminScalar(const size_t* elements, size_t n,
+                             uint64_t seed, uint64_t slot) {
+  // Position 0 seeds the running best so an all-max-hash input still
+  // returns the first position, exactly like the original scan.
+  size_t best = 0;
+  uint64_t best_hash =
+      Mix64(seed, slot, elements != nullptr ? elements[0] : 0);
+  for (size_t k = 1; k < n; ++k) {
+    const uint64_t h =
+        Mix64(seed, slot, elements != nullptr ? elements[k] : k);
+    if (h < best_hash) {
+      best_hash = h;
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace internal
+
+size_t CwsArgmin(CwsKernelScheme scheme, const double* weights,
+                 const double* log_weights, size_t n, uint64_t seed,
+                 uint64_t slot) {
+  const Level level = ActiveLevel();
+  internal::CountDispatch(Kernel::kCwsArgmin, level);
+  if (level == Level::kAvx2) {
+    return internal::CwsArgminAvx2(scheme, weights, log_weights, n, seed,
+                                   slot);
+  }
+  return internal::CwsArgminScalar(scheme, weights, log_weights, n, seed,
+                                   slot);
+}
+
+size_t PlainHashArgmin(const size_t* elements, size_t n, uint64_t seed,
+                       uint64_t slot) {
+  const Level level = ActiveLevel();
+  internal::CountDispatch(Kernel::kPlainArgmin, level);
+  if (level == Level::kAvx2) {
+    return internal::PlainHashArgminAvx2(elements, n, seed, slot);
+  }
+  return internal::PlainHashArgminScalar(elements, n, seed, slot);
+}
+
+}  // namespace eafe::simd

@@ -1,0 +1,55 @@
+#ifndef EAFE_SIMD_MINHASH_KERNELS_H_
+#define EAFE_SIMD_MINHASH_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eafe::simd {
+
+/// CWS flavors the argmin kernel evaluates. Licws reuses kIcws — it is
+/// ICWS sampling with the quantization index discarded afterwards, which
+/// does not change which element attains the minimum.
+enum class CwsKernelScheme {
+  kIcws,
+  kPcws,
+  kCcws,
+};
+
+/// Index of the element with the smallest CWS sampling value for hash
+/// slot `slot` — the inner min-reduction of weighted-MinHash signature
+/// computation. Elements with weights[k] <= 0 never compete; ties go to
+/// the lowest index (the scan order of the scalar reference). Returns
+/// `n` when no element has positive weight (callers CHECK against it).
+///
+/// `log_weights[k]` must hold PortableLog(weights[k]) for positive
+/// weights (any placeholder otherwise); kCcws ignores it and may pass
+/// nullptr. Both tiers evaluate the identical PortableLog-based
+/// operation sequence, so the selected index and its sampling value are
+/// bit-identical across EAFE_SIMD levels.
+size_t CwsArgmin(CwsKernelScheme scheme, const double* weights,
+                 const double* log_weights, size_t n, uint64_t seed,
+                 uint64_t slot);
+
+/// Index (position) of the smallest Mix64 hash over `n` elements for
+/// slot `slot` — plain MinHash selection. `elements` maps positions to
+/// element ids (nullptr means the identity: position k hashes element
+/// k). Ties go to the lowest position. Requires n >= 1.
+size_t PlainHashArgmin(const size_t* elements, size_t n, uint64_t seed,
+                       uint64_t slot);
+
+namespace internal {
+size_t CwsArgminScalar(CwsKernelScheme scheme, const double* weights,
+                       const double* log_weights, size_t n, uint64_t seed,
+                       uint64_t slot);
+size_t CwsArgminAvx2(CwsKernelScheme scheme, const double* weights,
+                     const double* log_weights, size_t n, uint64_t seed,
+                     uint64_t slot);
+size_t PlainHashArgminScalar(const size_t* elements, size_t n,
+                             uint64_t seed, uint64_t slot);
+size_t PlainHashArgminAvx2(const size_t* elements, size_t n, uint64_t seed,
+                           uint64_t slot);
+}  // namespace internal
+
+}  // namespace eafe::simd
+
+#endif  // EAFE_SIMD_MINHASH_KERNELS_H_

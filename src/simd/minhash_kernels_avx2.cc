@@ -1,0 +1,258 @@
+#include <limits>
+
+#include "simd/minhash_kernels.h"
+#include "simd/portable_math.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include "simd/avx2_math.h"
+
+namespace eafe::simd::internal {
+namespace {
+
+using avx2::Gamma21Vec;
+using avx2::Mix64Vec;
+using avx2::MulLo64;
+using avx2::Neg;
+using avx2::PortableLogVec;
+using avx2::UnitFromHashVec;
+
+inline long long AsLL(uint64_t v) { return static_cast<long long>(v); }
+
+/// (seed ^ stream-salt) ^ slot*kMixSlotMul — the per-(stream, slot) part
+/// of Mix64's key, hoisted out of the element loop.
+inline uint64_t StreamKey(uint64_t seed, uint64_t slot, uint64_t stream) {
+  return (seed ^ (stream * kMixStreamMul)) ^ (slot * kMixSlotMul);
+}
+
+struct CwsKeys {
+  __m256i r1, r2, c1, c2, beta, u;
+};
+
+inline CwsKeys MakeKeys(uint64_t seed, uint64_t slot) {
+  CwsKeys keys;
+  keys.r1 = _mm256_set1_epi64x(AsLL(StreamKey(seed, slot, kStreamR1)));
+  keys.r2 = _mm256_set1_epi64x(AsLL(StreamKey(seed, slot, kStreamR2)));
+  keys.c1 = _mm256_set1_epi64x(AsLL(StreamKey(seed, slot, kStreamC1)));
+  keys.c2 = _mm256_set1_epi64x(AsLL(StreamKey(seed, slot, kStreamC2)));
+  keys.beta = _mm256_set1_epi64x(AsLL(StreamKey(seed, slot, kStreamBeta)));
+  keys.u = _mm256_set1_epi64x(AsLL(StreamKey(seed, slot, kStreamU)));
+  return keys;
+}
+
+/// IcwsValueAt lanes: identical operation order, log_weight from memory.
+inline __m256d IcwsValueVec(const CwsKeys& keys, __m256i ek, __m256d lw) {
+  const __m256d r = Gamma21Vec(keys.r1, keys.r2, ek);
+  const __m256d c = Gamma21Vec(keys.c1, keys.c2, ek);
+  const __m256d beta = UnitFromHashVec(Mix64Vec(keys.beta, ek));
+  const __m256d t =
+      _mm256_floor_pd(_mm256_add_pd(_mm256_div_pd(lw, r), beta));
+  const __m256d ln_y = _mm256_mul_pd(r, _mm256_sub_pd(t, beta));
+  return _mm256_sub_pd(_mm256_sub_pd(PortableLogVec(c), ln_y), r);
+}
+
+/// PcwsValueAt lanes.
+inline __m256d PcwsValueVec(const CwsKeys& keys, __m256i ek, __m256d lw) {
+  const __m256d r = Gamma21Vec(keys.r1, keys.r2, ek);
+  const __m256d u = UnitFromHashVec(Mix64Vec(keys.u, ek));
+  const __m256d beta = UnitFromHashVec(Mix64Vec(keys.beta, ek));
+  const __m256d t =
+      _mm256_floor_pd(_mm256_add_pd(_mm256_div_pd(lw, r), beta));
+  const __m256d ln_y = _mm256_mul_pd(r, _mm256_sub_pd(t, beta));
+  const __m256d num = PortableLogVec(Neg(PortableLogVec(u)));
+  return _mm256_sub_pd(_mm256_sub_pd(num, ln_y), r);
+}
+
+/// CcwsValueAt lanes: weight itself from memory, not its log.
+inline __m256d CcwsValueVec(const CwsKeys& keys, __m256i ek, __m256d w) {
+  const __m256d u = UnitFromHashVec(Mix64Vec(keys.r1, ek));
+  const __m256d b =
+      _mm256_sub_pd(_mm256_set1_pd(1.0), _mm256_sqrt_pd(u));
+  const __m256d r = _mm256_max_pd(b, _mm256_set1_pd(1e-12));
+  const __m256d c = Gamma21Vec(keys.c1, keys.c2, ek);
+  const __m256d beta = UnitFromHashVec(Mix64Vec(keys.beta, ek));
+  const __m256d r2 = _mm256_mul_pd(_mm256_set1_pd(2.0), r);
+  const __m256d t =
+      _mm256_floor_pd(_mm256_add_pd(_mm256_div_pd(w, r2), beta));
+  const __m256d y = _mm256_mul_pd(r2, _mm256_sub_pd(t, beta));
+  const __m256d a = _mm256_div_pd(c, _mm256_add_pd(y, r2));
+  return PortableLogVec(a);
+}
+
+template <CwsKernelScheme S>
+size_t CwsArgminLoop(const double* weights, const double* log_weights,
+                     size_t n, uint64_t seed, uint64_t slot) {
+  const CwsKeys keys = MakeKeys(seed, slot);
+  const __m256d inf =
+      _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  const __m256d zero = _mm256_setzero_pd();
+  __m256d best_v = inf;
+  __m256i best_i = _mm256_set1_epi64x(AsLL(n));
+  __m256i idx = _mm256_setr_epi64x(0, 1, 2, 3);
+  __m256i ek = _mm256_setr_epi64x(AsLL(0 * kMixElementMul),
+                                  AsLL(1 * kMixElementMul),
+                                  AsLL(2 * kMixElementMul),
+                                  AsLL(3 * kMixElementMul));
+  const __m256i ek_step = _mm256_set1_epi64x(AsLL(4 * kMixElementMul));
+  const __m256i idx_step = _mm256_set1_epi64x(4);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d w = _mm256_loadu_pd(weights + i);
+    __m256d value;
+    if constexpr (S == CwsKernelScheme::kIcws) {
+      value = IcwsValueVec(keys, ek, _mm256_loadu_pd(log_weights + i));
+    } else if constexpr (S == CwsKernelScheme::kPcws) {
+      value = PcwsValueVec(keys, ek, _mm256_loadu_pd(log_weights + i));
+    } else {
+      value = CcwsValueVec(keys, ek, w);
+    }
+    // Non-positive weights never compete: their lanes carry +inf, which
+    // a strict < can't adopt (sampling values are always finite).
+    const __m256d pos = _mm256_cmp_pd(w, zero, _CMP_GT_OQ);
+    value = _mm256_blendv_pd(inf, value, pos);
+    const __m256d lt = _mm256_cmp_pd(value, best_v, _CMP_LT_OQ);
+    best_v = _mm256_blendv_pd(best_v, value, lt);
+    best_i = _mm256_blendv_epi8(best_i, idx, _mm256_castpd_si256(lt));
+    ek = _mm256_add_epi64(ek, ek_step);
+    idx = _mm256_add_epi64(idx, idx_step);
+  }
+  // Per-lane strict < kept each lane's first minimum, so the smallest
+  // index among value-tied lanes is the global first minimum.
+  alignas(32) double vals[4];
+  alignas(32) long long idxs[4];
+  _mm256_store_pd(vals, best_v);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(idxs), best_i);  // eafe-lint: allow(raw-deserialize): vector load/store pointer cast, in-process.
+  double best_value = std::numeric_limits<double>::infinity();
+  size_t best = n;
+  for (int lane = 0; lane < 4; ++lane) {
+    const auto id = static_cast<size_t>(idxs[lane]);
+    if (vals[lane] < best_value ||
+        (vals[lane] == best_value && id < best)) {
+      best_value = vals[lane];
+      best = id;
+    }
+  }
+  // Scalar tail: indices exceed every vector index, so strict < alone
+  // preserves first-minimum semantics.
+  for (size_t k = i; k < n; ++k) {
+    if (weights[k] <= 0.0) continue;
+    double value;
+    if constexpr (S == CwsKernelScheme::kIcws) {
+      value = IcwsValueAt(log_weights[k], seed, slot, k).value;
+    } else if constexpr (S == CwsKernelScheme::kPcws) {
+      value = PcwsValueAt(log_weights[k], seed, slot, k).value;
+    } else {
+      value = CcwsValueAt(weights[k], seed, slot, k).value;
+    }
+    if (value < best_value) {
+      best_value = value;
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+size_t CwsArgminAvx2(CwsKernelScheme scheme, const double* weights,
+                     const double* log_weights, size_t n, uint64_t seed,
+                     uint64_t slot) {
+  if (n < 8) {
+    return CwsArgminScalar(scheme, weights, log_weights, n, seed, slot);
+  }
+  switch (scheme) {
+    case CwsKernelScheme::kIcws:
+      return CwsArgminLoop<CwsKernelScheme::kIcws>(weights, log_weights, n,
+                                                   seed, slot);
+    case CwsKernelScheme::kPcws:
+      return CwsArgminLoop<CwsKernelScheme::kPcws>(weights, log_weights, n,
+                                                   seed, slot);
+    case CwsKernelScheme::kCcws:
+      break;
+  }
+  return CwsArgminLoop<CwsKernelScheme::kCcws>(weights, log_weights, n,
+                                               seed, slot);
+}
+
+size_t PlainHashArgminAvx2(const size_t* elements, size_t n, uint64_t seed,
+                           uint64_t slot) {
+  if (n < 9) return PlainHashArgminScalar(elements, n, seed, slot);
+  // Position 0 seeds the running best (see the scalar reference); the
+  // vector covers [1, 1 + 4m) and the tail finishes scalar.
+  uint64_t best_hash = Mix64(seed, slot, elements != nullptr ? elements[0] : 0);
+  size_t best = 0;
+  const uint64_t key = seed ^ (slot * kMixSlotMul);
+  const __m256i key_v = _mm256_set1_epi64x(AsLL(key));
+  const __m256i sign = _mm256_set1_epi64x(AsLL(0x8000000000000000ULL));
+  const __m256i elem_mul = _mm256_set1_epi64x(AsLL(kMixElementMul));
+  __m256i best_h = _mm256_set1_epi64x(-1);  // UINT64_MAX lanes.
+  __m256i best_i = _mm256_set1_epi64x(AsLL(n));
+  __m256i idx = _mm256_setr_epi64x(1, 2, 3, 4);
+  __m256i ek = _mm256_setr_epi64x(AsLL(1 * kMixElementMul),
+                                  AsLL(2 * kMixElementMul),
+                                  AsLL(3 * kMixElementMul),
+                                  AsLL(4 * kMixElementMul));
+  const __m256i ek_step = _mm256_set1_epi64x(AsLL(4 * kMixElementMul));
+  const __m256i idx_step = _mm256_set1_epi64x(4);
+  size_t k = 1;
+  for (; k + 4 <= n; k += 4) {
+    __m256i e;
+    if (elements != nullptr) {
+      e = MulLo64(_mm256_loadu_si256(
+                      reinterpret_cast<const __m256i*>(elements + k)),  // eafe-lint: allow(raw-deserialize): vector load/store pointer cast, in-process.
+                  elem_mul);
+    } else {
+      e = ek;
+      ek = _mm256_add_epi64(ek, ek_step);
+    }
+    const __m256i h = Mix64Vec(key_v, e);
+    // Unsigned h < best_h via the sign-flip trick.
+    const __m256i lt = _mm256_cmpgt_epi64(_mm256_xor_si256(best_h, sign),
+                                          _mm256_xor_si256(h, sign));
+    best_h = _mm256_blendv_epi8(best_h, h, lt);
+    best_i = _mm256_blendv_epi8(best_i, idx, lt);
+    idx = _mm256_add_epi64(idx, idx_step);
+  }
+  alignas(32) unsigned long long hashes[4];
+  alignas(32) long long idxs[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(hashes), best_h);  // eafe-lint: allow(raw-deserialize): vector load/store pointer cast, in-process.
+  _mm256_store_si256(reinterpret_cast<__m256i*>(idxs), best_i);  // eafe-lint: allow(raw-deserialize): vector load/store pointer cast, in-process.
+  for (int lane = 0; lane < 4; ++lane) {
+    const auto id = static_cast<size_t>(idxs[lane]);
+    if (hashes[lane] < best_hash ||
+        (hashes[lane] == best_hash && id < best)) {
+      best_hash = hashes[lane];
+      best = id;
+    }
+  }
+  for (; k < n; ++k) {
+    const uint64_t h =
+        Mix64(seed, slot, elements != nullptr ? elements[k] : k);
+    if (h < best_hash) {
+      best_hash = h;
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace eafe::simd::internal
+
+#else  // !x86: the dispatcher never selects this tier; delegate anyway.
+
+namespace eafe::simd::internal {
+
+size_t CwsArgminAvx2(CwsKernelScheme scheme, const double* weights,
+                     const double* log_weights, size_t n, uint64_t seed,
+                     uint64_t slot) {
+  return CwsArgminScalar(scheme, weights, log_weights, n, seed, slot);
+}
+
+size_t PlainHashArgminAvx2(const size_t* elements, size_t n, uint64_t seed,
+                           uint64_t slot) {
+  return PlainHashArgminScalar(elements, n, seed, slot);
+}
+
+}  // namespace eafe::simd::internal
+
+#endif

@@ -1,0 +1,177 @@
+#ifndef EAFE_SIMD_PORTABLE_MATH_H_
+#define EAFE_SIMD_PORTABLE_MATH_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+/// Deterministic scalar math shared by every kernel tier.
+///
+/// The weighted-MinHash kernels need log() inside their hot loop, but
+/// libm's log is not replicable lane-for-lane in AVX2. PortableLog below
+/// is: every operation it performs (compare, bit twiddling, add, mul,
+/// div) is exactly rounded per IEEE-754 and exists as a 4-lane AVX2
+/// instruction, so the vector tier (avx2_math.h) executes the identical
+/// operation sequence and produces bit-identical results. The same file
+/// centralizes the splitmix64 mixing constants so src/hashing/ and the
+/// kernels cannot drift apart.
+///
+/// PortableLog's only deliberate deviation from std::log: log(+inf)
+/// returns ~709.78 (2^1024's exponent path) instead of +inf. No sampling
+/// path can feed it +inf — CWS values stay finite for finite inputs —
+/// and the bounded result keeps argmin semantics intact even if one did.
+namespace eafe::simd {
+
+/// Stream ids for the independent uniform draws behind each CWS scheme;
+/// must match the roles documented in hashing/weighted_minhash.cc.
+enum MixStream : uint64_t {
+  kStreamR1 = 1,
+  kStreamR2 = 2,
+  kStreamC1 = 3,
+  kStreamC2 = 4,
+  kStreamBeta = 5,
+  kStreamU = 6,
+};
+
+inline constexpr uint64_t kMixSlotMul = 0x9E3779B97F4A7C15ULL;
+inline constexpr uint64_t kMixElementMul = 0xC2B2AE3D27D4EB4FULL;
+inline constexpr uint64_t kMixStreamMul = 0xD6E8FEB86659FD93ULL;
+inline constexpr uint64_t kMixFinal1 = 0xBF58476D1CE4E5B9ULL;
+inline constexpr uint64_t kMixFinal2 = 0x94D049BB133111EBULL;
+
+/// splitmix64-style finalizer over a combined key — the one hash behind
+/// MinHash selection (hashing::MixHash delegates here).
+inline uint64_t Mix64(uint64_t seed, uint64_t slot, uint64_t element) {
+  uint64_t z = seed ^ (slot * kMixSlotMul) ^ (element * kMixElementMul);
+  z ^= z >> 30;
+  z *= kMixFinal1;
+  z ^= z >> 27;
+  z *= kMixFinal2;
+  z ^= z >> 31;
+  return z;
+}
+
+/// Hash bits to (0, 1]: (h >> 11) in [0, 2^53), +1 keeps it positive.
+inline double UnitFromHash(uint64_t h) {
+  return (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+}
+
+inline double Uniform01(uint64_t seed, uint64_t slot, uint64_t element,
+                        uint64_t stream) {
+  return UnitFromHash(Mix64(seed ^ (stream * kMixStreamMul), slot, element));
+}
+
+/// Polynomial for 2*atanh(z) on the reduced mantissa; coefficients are
+/// 2/k, computed exactly at compile time so every tier embeds the same
+/// bit patterns.
+inline constexpr double kLogC1 = 2.0;
+inline constexpr double kLogC3 = 2.0 / 3.0;
+inline constexpr double kLogC5 = 2.0 / 5.0;
+inline constexpr double kLogC7 = 2.0 / 7.0;
+inline constexpr double kLogC9 = 2.0 / 9.0;
+inline constexpr double kLogC11 = 2.0 / 11.0;
+inline constexpr double kLogC13 = 2.0 / 13.0;
+inline constexpr double kLogC15 = 2.0 / 15.0;
+inline constexpr double kLn2 = 0x1.62e42fefa39efp-1;
+inline constexpr double kSqrt2 = 0x1.6a09e667f3bcdp+0;
+/// Below this, inputs pre-scale by 2^54 so subnormals reduce exactly.
+inline constexpr double kLogTiny = 0x1.0p-1000;
+inline constexpr double kLogTinyScale = 0x1.0p54;
+
+/// Natural log, accurate to ~1 ulp over the positive range (subnormals
+/// included); returns -inf for x <= 0 (incl. -0.0), matching std::log
+/// at zero. Replicated lane-exactly by avx2_math.h's PortableLogVec —
+/// keep the operation order in the two files in sync.
+inline double PortableLog(double x) {
+  if (x <= 0.0) return -std::numeric_limits<double>::infinity();
+  double eadj = 0.0;
+  if (x < kLogTiny) {
+    x *= kLogTinyScale;  // Exact: scaling by a power of two.
+    eadj = 54.0;
+  }
+  const uint64_t bits = std::bit_cast<uint64_t>(x);
+  const double e =
+      (static_cast<double>((bits >> 52) & 0x7FFULL) - 1023.0) - eadj;
+  double m = std::bit_cast<double>((bits & 0xFFFFFFFFFFFFFULL) |
+                                   0x3FF0000000000000ULL);
+  double e2 = e;
+  if (m > kSqrt2) {
+    m *= 0.5;  // Exact; keeps |z| <= (sqrt2-1)/(sqrt2+1) ~= 0.1716.
+    e2 += 1.0;
+  }
+  const double z = (m - 1.0) / (m + 1.0);
+  const double w = z * z;
+  double p = kLogC15;
+  p = p * w + kLogC13;
+  p = p * w + kLogC11;
+  p = p * w + kLogC9;
+  p = p * w + kLogC7;
+  p = p * w + kLogC5;
+  p = p * w + kLogC3;
+  p = p * w + kLogC1;
+  const double poly = z * p;
+  const double scaled = e2 * kLn2;
+  return poly + scaled;
+}
+
+/// Gamma(2,1) variate from two independent uniforms: -ln(u1 * u2).
+inline double Gamma21P(uint64_t seed, uint64_t slot, uint64_t element,
+                       uint64_t s1, uint64_t s2) {
+  const double u1 = Uniform01(seed, slot, element, s1);
+  const double u2 = Uniform01(seed, slot, element, s2);
+  return -PortableLog(u1 * u2);
+}
+
+/// One CWS sampling evaluation: the value that competes in the argmin
+/// (smaller wins) and the quantization index t (as the floor double; the
+/// signature paths cast to int64).
+struct CwsValue {
+  double value = 0.0;
+  double t = 0.0;
+};
+
+/// Ioffe's ICWS sampling value; takes the precomputed log(weight).
+inline CwsValue IcwsValueAt(double log_weight, uint64_t seed, uint64_t slot,
+                            uint64_t element) {
+  const double r = Gamma21P(seed, slot, element, kStreamR1, kStreamR2);
+  const double c = Gamma21P(seed, slot, element, kStreamC1, kStreamC2);
+  const double beta = Uniform01(seed, slot, element, kStreamBeta);
+  const double t = std::floor(log_weight / r + beta);
+  const double ln_y = r * (t - beta);
+  const double ln_a = (PortableLog(c) - ln_y) - r;
+  return {ln_a, t};
+}
+
+/// PCWS: the numerator gamma replaced by -ln(u) (Wu et al., 2017).
+inline CwsValue PcwsValueAt(double log_weight, uint64_t seed, uint64_t slot,
+                            uint64_t element) {
+  const double r = Gamma21P(seed, slot, element, kStreamR1, kStreamR2);
+  const double u = Uniform01(seed, slot, element, kStreamU);
+  const double beta = Uniform01(seed, slot, element, kStreamBeta);
+  const double t = std::floor(log_weight / r + beta);
+  const double ln_y = r * (t - beta);
+  const double ln_a = (PortableLog(-PortableLog(u)) - ln_y) - r;
+  return {ln_a, t};
+}
+
+/// CCWS: quantizes the weight itself on a Beta(1,2)-scaled grid (Wu et
+/// al., 2016).
+inline CwsValue CcwsValueAt(double weight, uint64_t seed, uint64_t slot,
+                            uint64_t element) {
+  // Beta(1,2) = 1 - sqrt(u).
+  const double b =
+      1.0 - std::sqrt(Uniform01(seed, slot, element, kStreamR1));
+  const double r = std::max(b, 1e-12);
+  const double c = Gamma21P(seed, slot, element, kStreamC1, kStreamC2);
+  const double beta = Uniform01(seed, slot, element, kStreamBeta);
+  const double r2 = 2.0 * r;
+  const double t = std::floor(weight / r2 + beta);
+  const double y = r2 * (t - beta);
+  const double a = c / (y + r2);
+  return {PortableLog(a), t};
+}
+
+}  // namespace eafe::simd
+
+#endif  // EAFE_SIMD_PORTABLE_MATH_H_

@@ -1,0 +1,20 @@
+#include "simd/predict_kernels.h"
+
+#include "simd/simd.h"
+
+namespace eafe::simd {
+
+void WalkRows(const PackedNode* nodes, const uint8_t* codes, size_t stride,
+              uint32_t root, uint32_t steps, size_t n, uint32_t* leaves) {
+  const Level level = ActiveLevel();
+  internal::CountDispatch(Kernel::kWalk, level);
+  if (level == Level::kAvx2) {
+    internal::WalkRowsBlocked<16>(nodes, codes, stride, root, steps, n,
+                                  leaves);
+    return;
+  }
+  internal::WalkRowsBlocked<8>(nodes, codes, stride, root, steps, n,
+                               leaves);
+}
+
+}  // namespace eafe::simd

@@ -1,0 +1,74 @@
+#ifndef EAFE_SIMD_PREDICT_KERNELS_H_
+#define EAFE_SIMD_PREDICT_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eafe::simd {
+
+/// Hot traversal record for flat-tree batch inference: 16 bytes, four
+/// per cache line. Leaves are packed as self-loops (feature 0, left ==
+/// right == own index) so the fixed-depth walk never tests for them.
+struct PackedNode {
+  int32_t feature = 0;    ///< Code column routed on (0 for leaves).
+  uint8_t split_bin = 0;  ///< Go left if code <= split_bin.
+  uint32_t left = 0;      ///< Absolute node index.
+  uint32_t right = 0;
+};
+
+/// Walks all `n` row-major encoded rows (row r's codes at codes + r *
+/// stride) through the tree rooted at `root` for exactly `steps` levels
+/// and writes each row's final node index to leaves[r].
+///
+/// Node loads are data-dependent uint8 lookups, so hardware gathers
+/// lose to plain loads here; both tiers are gather-free, keeping K rows
+/// in flight so independent node loads overlap (K = 8 scalar, 16 at the
+/// AVX2 tier, whose wider out-of-order/load budget feeds the deeper
+/// pipeline). Pure integer control flow — identical leaves at every
+/// tier.
+void WalkRows(const PackedNode* nodes, const uint8_t* codes, size_t stride,
+              uint32_t root, uint32_t steps, size_t n, uint32_t* leaves);
+
+namespace internal {
+template <size_t kBlock>
+void WalkRowsBlocked(const PackedNode* nodes, const uint8_t* codes,
+                     size_t stride, uint32_t root, uint32_t steps, size_t n,
+                     uint32_t* leaves) {
+  size_t r = 0;
+  // kBlock rows in flight: each step is a conditional move on the row's
+  // code, and distinct rows' node loads are independent, so the walk
+  // overlaps cache latency instead of serializing one dependent chain.
+  // Rows on shallow leaves spend the spare steps in their self-loop.
+  for (; r + kBlock <= n; r += kBlock) {
+    const uint8_t* rows[kBlock];
+    uint32_t cur[kBlock];
+    for (size_t k = 0; k < kBlock; ++k) {
+      rows[k] = codes + (r + k) * stride;
+      cur[k] = root;
+    }
+    for (uint32_t d = 0; d < steps; ++d) {
+      for (size_t k = 0; k < kBlock; ++k) {
+        const PackedNode& nd = nodes[cur[k]];
+        cur[k] = rows[k][static_cast<size_t>(nd.feature)] <= nd.split_bin
+                     ? nd.left
+                     : nd.right;
+      }
+    }
+    for (size_t k = 0; k < kBlock; ++k) leaves[r + k] = cur[k];
+  }
+  for (; r < n; ++r) {
+    const uint8_t* row = codes + r * stride;
+    uint32_t cur = root;
+    for (uint32_t d = 0; d < steps; ++d) {
+      const PackedNode& nd = nodes[cur];
+      cur = row[static_cast<size_t>(nd.feature)] <= nd.split_bin ? nd.left
+                                                                 : nd.right;
+    }
+    leaves[r] = cur;
+  }
+}
+}  // namespace internal
+
+}  // namespace eafe::simd
+
+#endif  // EAFE_SIMD_PREDICT_KERNELS_H_

@@ -1,0 +1,94 @@
+#include "runtime/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace eafe::runtime {
+namespace {
+
+TEST(MetricsTest, VoidGatewayDiscardsEverything) {
+  MetricGateway* gateway = VoidMetrics();
+  ASSERT_NE(gateway, nullptr);
+  MetricCounter* counter = gateway->Counter("c", "help");
+  counter->Increment();
+  counter->Increment(41);
+  EXPECT_EQ(counter->Value(), 0u);
+  MetricGauge* gauge = gateway->Gauge("g", "help");
+  gauge->Set(3.0);
+  gauge->Add(1.0);
+  EXPECT_EQ(gauge->Value(), 0.0);
+  MetricHistogram* histogram = gateway->Histogram("h", "help", {});
+  histogram->Observe(0.5);
+  EXPECT_EQ(histogram->Count(), 0u);
+  EXPECT_EQ(histogram->Sum(), 0.0);
+  EXPECT_EQ(gateway->TextExposition(), "");
+}
+
+TEST(MetricsTest, CounterAccumulates) {
+  TextMetricGateway gateway;
+  MetricCounter* counter =
+      gateway.Counter("eafe_test_total", "things that happened");
+  counter->Increment();
+  counter->Increment(9);
+  EXPECT_EQ(counter->Value(), 10u);
+  // Lookup-or-create: same name yields the same instrument.
+  EXPECT_EQ(gateway.Counter("eafe_test_total", "ignored"), counter);
+}
+
+TEST(MetricsTest, GaugeSetsAndAdds) {
+  TextMetricGateway gateway;
+  MetricGauge* gauge = gateway.Gauge("eafe_test_level", "current level");
+  gauge->Set(4.0);
+  gauge->Add(-1.5);
+  EXPECT_EQ(gauge->Value(), 2.5);
+}
+
+TEST(MetricsTest, HistogramBucketsCumulative) {
+  TextMetricGateway gateway;
+  MetricHistogram* histogram = gateway.Histogram(
+      "eafe_test_seconds", "latency", {0.1, 1.0, 10.0});
+  histogram->Observe(0.05);
+  histogram->Observe(0.5);
+  histogram->Observe(5.0);
+  histogram->Observe(50.0);  // Lands in the implicit +Inf bucket.
+  EXPECT_EQ(histogram->Count(), 4u);
+  EXPECT_NEAR(histogram->Sum(), 55.55, 1e-9);
+  const std::string text = gateway.TextExposition();
+  EXPECT_NE(text.find("eafe_test_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("eafe_test_seconds_bucket{le=\"+Inf\"} 4"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("eafe_test_seconds_count 4"), std::string::npos);
+}
+
+TEST(MetricsTest, TextExpositionSortedWithHelpAndType) {
+  TextMetricGateway gateway;
+  gateway.Counter("eafe_zzz_total", "last")->Increment();
+  gateway.Gauge("eafe_aaa_level", "first")->Set(1.0);
+  const std::string text = gateway.TextExposition();
+  EXPECT_NE(text.find("# HELP eafe_aaa_level first"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE eafe_aaa_level gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE eafe_zzz_total counter"), std::string::npos);
+  EXPECT_LT(text.find("eafe_aaa_level"), text.find("eafe_zzz_total"));
+}
+
+TEST(MetricsTest, GlobalGatewayDefaultsToVoidAndRestores) {
+  EXPECT_EQ(GlobalMetrics(), VoidMetrics());
+  {
+    TextMetricGateway gateway;
+    SetGlobalMetrics(&gateway);
+    EXPECT_EQ(GlobalMetrics(), &gateway);
+    GlobalMetrics()->Counter("eafe_global_total", "seen")->Increment();
+    EXPECT_NE(gateway.TextExposition().find("eafe_global_total 1"),
+              std::string::npos);
+    SetGlobalMetrics(nullptr);
+  }
+  EXPECT_EQ(GlobalMetrics(), VoidMetrics());
+}
+
+}  // namespace
+}  // namespace eafe::runtime

@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -182,6 +184,69 @@ TEST(ModelStoreTest, FileRoundTrip) {
   EXPECT_EQ(loaded.kind, ModelKind::kRandomForest);
   std::remove(path.c_str());
   EXPECT_EQ(LoadModel(path).status().code(), StatusCode::kIoError);
+}
+
+// LoadModel decodes through a read-only memory mapping where the platform
+// has one; deserializing a manual buffered read of the same file must
+// produce a model with identical predictions — zero-copy is an IO
+// optimization, never a semantic one.
+TEST(ModelStoreTest, MappedLoadMatchesBufferedDeserialize) {
+  const ml::RandomForest forest =
+      TrainForest(data::TaskType::kRegression, 29);
+  const std::string path = ::testing::TempDir() + "/forest_mmap.eafe";
+  ASSERT_TRUE(SaveModel(forest, path).ok());
+  const LoadedModel mapped = LoadModel(path).ValueOrDie();
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const LoadedModel buffered = DeserializeModel(buffer.str()).ValueOrDie();
+  std::remove(path.c_str());
+  EXPECT_EQ(mapped.kind, buffered.kind);
+  ASSERT_TRUE(mapped.tree.has_value());
+  ASSERT_TRUE(buffered.tree.has_value());
+  FlatPredictor from_map = FlatPredictor::Create(*mapped.tree).ValueOrDie();
+  FlatPredictor from_buf =
+      FlatPredictor::Create(*buffered.tree).ValueOrDie();
+  const data::Dataset query = MakeData(data::TaskType::kRegression, 30);
+  const std::vector<double> a =
+      from_map.Predict(query.features).ValueOrDie();
+  const std::vector<double> b =
+      from_buf.Predict(query.features).ValueOrDie();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "row " << i;
+  }
+}
+
+// Legacy v1 text models go through LoadModel's mapped path too (the
+// string_view is copied for the line-oriented parser).
+TEST(ModelStoreTest, LegacyTextModelLoadsFromFile) {
+  const fpe::FpeModel model =
+      TrainFpe(fpe::FpeModel::ClassifierKind::kLogistic, 31);
+  const std::string text = fpe::SerializeFpeModel(model).ValueOrDie();
+  const std::string path = ::testing::TempDir() + "/legacy.txt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+  }
+  const LoadedModel loaded = LoadModel(path).ValueOrDie();
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.kind, ModelKind::kFpe);
+  ASSERT_TRUE(loaded.fpe.has_value());
+  for (const auto& f : MakeFeatures(10, 32)) {
+    EXPECT_EQ(model.PredictProbability(f.values).ValueOrDie(),
+              loaded.fpe->PredictProbability(f.values).ValueOrDie());
+  }
+}
+
+// Zero-length files cannot be mapped (mmap rejects them); the buffered
+// fallback reads "" and the magic check reports the real problem.
+TEST(ModelStoreTest, EmptyFileFailsCleanly) {
+  const std::string path = ::testing::TempDir() + "/empty.eafe";
+  { std::ofstream out(path, std::ios::binary); }
+  EXPECT_EQ(LoadModel(path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
 }
 
 TEST(ModelStoreTest, UntrainedModelsRejected) {

@@ -144,6 +144,42 @@ TEST(RawDeserializeTest, ServeCommentsAndEscapeAreExempt) {
                   .empty());
 }
 
+TEST(SimdRuleTest, FiresOnIntrinsicsOutsideSimd) {
+  const std::string source =
+      "#include <immintrin.h>\n"
+      "__m256d v = _mm256_set1_pd(1.0);\n"
+      "__m128i w = _mm_setzero_si128();\n";
+  const std::vector<Finding> findings =
+      CheckSimdIntrinsics("src/ml/histogram_builder.cc", source);
+  ASSERT_EQ(findings.size(), 5u);  // immintrin + two types + two calls
+  EXPECT_EQ(findings[0].rule, kRuleSimd);
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_NE(findings[0].message.find("src/simd/"), std::string::npos);
+  EXPECT_EQ(findings[1].line, 2u);
+}
+
+TEST(SimdRuleTest, SimdDirCommentsAndEscapeAreExempt) {
+  // src/simd/ is the sanctioned home for intrinsics.
+  EXPECT_TRUE(CheckSimdIntrinsics(
+                  "src/simd/minhash_kernels_avx2.cc",
+                  "#include <immintrin.h>\n__m256d v = _mm256_set1_pd(1);")
+                  .empty());
+  // Prose mentioning intrinsics does not fire.
+  EXPECT_TRUE(CheckSimdIntrinsics(
+                  "src/ml/x.cc", "// _mm256_add_pd lives in src/simd/ now\n")
+                  .empty());
+  // The per-line escape hatch works.
+  EXPECT_TRUE(
+      CheckSimdIntrinsics(
+          "src/ml/x.cc",
+          "__m256d v = _mm256_set1_pd(1.0);  // eafe-lint: allow(simd) why\n")
+          .empty());
+  // Ordinary identifiers that merely contain 'mm' or 'simd' do not fire.
+  EXPECT_TRUE(CheckSimdIntrinsics(
+                  "src/ml/x.cc", "size_t comm = simd_level + mmap_len;")
+                  .empty());
+}
+
 constexpr char kTestsCMake[] = R"cmake(
 # labels drive suite selection
 eafe_add_test(good_test

@@ -3,9 +3,13 @@
 #
 #   lint     eafe_lint invariant checker + clang-tidy (when installed) in build/
 #   debug    build + full ctest (all labels) in build/
-#   release  Release build + the micro_tree perf smoke in build-release/
-#            (tree, shared-binner forest, gbdt booster, and model-store
-#            round-trip serving gates)
+#   release  Release build + perf smokes in build-release/: micro_tree
+#            --smoke (tree, shared-binner forest, gbdt booster, and
+#            model-store round-trip serving gates), the SIMD dispatch
+#            smokes (micro_hashing/micro_tree --simd-smoke: AVX2 tiers
+#            bit-identical + speed floor vs scalar), and a forced
+#            EAFE_SIMD=scalar rerun of the simd-labeled ctest suite to
+#            prove the fallback tier stays green
 #   asan     full ctest under AddressSanitizer in build-asan/
 #   ubsan    full ctest under UndefinedBehaviorSanitizer in build-ubsan/
 #   tsan     every test labeled `tsan` under ThreadSanitizer in build-tsan/
@@ -92,8 +96,20 @@ run_release() {
   # the save->load->flat-predict round trip (bit-identity + speed floor).
   cmake -B "${root}/build-release" -S "${root}" \
     -DCMAKE_BUILD_TYPE=Release -DEAFE_WERROR=ON >/dev/null
-  cmake --build "${root}/build-release" -j "${jobs}" --target micro_tree
+  cmake --build "${root}/build-release" -j "${jobs}" \
+    --target micro_tree micro_hashing eafe_simd_test
   "${root}/build-release/bench/micro_tree" --smoke
+  # SIMD dispatch smokes: every forced-AVX2 kernel must return the same
+  # bits as the scalar tier (signatures, class counts, walks; gradient
+  # sums within the documented tolerance) and clear a conservative 1.2x
+  # speed floor on the chain-bound rows. BENCH_simd.json snapshots the
+  # full --simd grids from these two binaries.
+  "${root}/build-release/bench/micro_hashing" --simd-smoke
+  "${root}/build-release/bench/micro_tree" --simd-smoke
+  # Forced-fallback rerun: the simd-labeled dispatch-equivalence tests
+  # must stay green with every specialized tier disabled.
+  EAFE_SIMD=scalar ctest --test-dir "${root}/build-release" \
+    --output-on-failure -L '^simd$'
 }
 
 run_asan() {

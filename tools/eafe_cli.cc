@@ -32,6 +32,8 @@
 
 #include "core/flags.h"
 #include "core/table_printer.h"
+#include "runtime/metrics.h"
+#include "simd/simd.h"
 #include "data/csv.h"
 #include "data/meta_features.h"
 #include "eafe.h"
@@ -52,6 +54,30 @@ void ApplyThreads(const FlagParser& flags) {
   runtime::SetGlobalThreads(
       static_cast<size_t>(std::max<int64_t>(flags.GetInt("threads"), 1)));
 }
+
+/// --metrics: installs a recording gateway for the command's lifetime and
+/// dumps the Prometheus text exposition (plus the per-kernel SIMD
+/// dispatch counts) to stderr at scope exit. Construct before any
+/// instrumented component (pools, caches, services) — they capture their
+/// instruments at construction.
+class MetricsDump {
+ public:
+  explicit MetricsDump(bool enabled) : enabled_(enabled) {
+    if (enabled_) runtime::SetGlobalMetrics(&gateway_);
+  }
+  ~MetricsDump() {
+    if (!enabled_) return;
+    simd::PublishDispatchCounts(&gateway_);
+    std::fprintf(stderr, "%s", gateway_.TextExposition().c_str());
+    runtime::SetGlobalMetrics(nullptr);
+  }
+  MetricsDump(const MetricsDump&) = delete;
+  MetricsDump& operator=(const MetricsDump&) = delete;
+
+ private:
+  bool enabled_;
+  runtime::TextMetricGateway gateway_;
+};
 
 Result<data::Dataset> LoadDataset(const FlagParser& flags) {
   const std::string path = flags.GetString("data");
@@ -80,11 +106,13 @@ int Pretrain(int argc, char** argv) {
       .AddInt("dimension", 48, "signature dimension d")
       .AddDouble("thre", 0.01, "label threshold")
       .AddInt("seed", 17, "random seed")
-      .AddThreads();
+      .AddThreads().AddBool(
+          "metrics", false, "dump runtime metrics to stderr at exit");
   const Status parsed = flags.Parse(argc, argv);
   if (parsed.code() == StatusCode::kNotFound) return 0;
   if (!parsed.ok()) return Fail(parsed);
   ApplyThreads(flags);
+  MetricsDump metrics(flags.GetBool("metrics"));
 
   afe::FpePretrainingOptions options;
   options.trainer.dimensions = {
@@ -132,11 +160,13 @@ int Search(int argc, char** argv) {
                  "rf|tree|gbdt|logreg|svm|nb_gp|mlp|resnet")
       .AddString("split-strategy", "histogram",
                  "tree split backend: exact | histogram")
-      .AddThreads();
+      .AddThreads().AddBool(
+          "metrics", false, "dump runtime metrics to stderr at exit");
   const Status parsed = flags.Parse(argc, argv);
   if (parsed.code() == StatusCode::kNotFound) return 0;
   if (!parsed.ok()) return Fail(parsed);
   ApplyThreads(flags);
+  MetricsDump metrics(flags.GetBool("metrics"));
 
   auto dataset = LoadDataset(flags);
   if (!dataset.ok()) return Fail(dataset.status());
@@ -232,11 +262,13 @@ int Evaluate(int argc, char** argv) {
       .AddInt("seed", 17, "random seed")
       .AddString("split-strategy", "histogram",
                  "tree split backend: exact | histogram")
-      .AddThreads();
+      .AddThreads().AddBool(
+          "metrics", false, "dump runtime metrics to stderr at exit");
   const Status parsed = flags.Parse(argc, argv);
   if (parsed.code() == StatusCode::kNotFound) return 0;
   if (!parsed.ok()) return Fail(parsed);
   ApplyThreads(flags);
+  MetricsDump metrics(flags.GetBool("metrics"));
 
   auto dataset = LoadDataset(flags);
   if (!dataset.ok()) return Fail(dataset.status());
@@ -315,11 +347,13 @@ int SaveModelCmd(int argc, char** argv) {
       .AddInt("trees", 10, "forest trees / boosting rounds")
       .AddInt("max-depth", 0, "tree depth cap (0: model default)")
       .AddInt("seed", 17, "random seed")
-      .AddThreads();
+      .AddThreads().AddBool(
+          "metrics", false, "dump runtime metrics to stderr at exit");
   const Status parsed = flags.Parse(argc, argv);
   if (parsed.code() == StatusCode::kNotFound) return 0;
   if (!parsed.ok()) return Fail(parsed);
   ApplyThreads(flags);
+  MetricsDump metrics(flags.GetBool("metrics"));
 
   auto dataset = LoadDataset(flags);
   if (!dataset.ok()) return Fail(dataset.status());
@@ -372,10 +406,12 @@ int Predict(int argc, char** argv) {
       .AddString("label", "",
                  "drop this column before predicting (if present)")
       .AddBool("proba", false, "emit P(class == 1) instead of labels")
-      .AddString("out", "", "write predictions to this CSV");
+      .AddString("out", "", "write predictions to this CSV")
+      .AddBool("metrics", false, "dump runtime metrics to stderr at exit");
   const Status parsed = flags.Parse(argc, argv);
   if (parsed.code() == StatusCode::kNotFound) return 0;
   if (!parsed.ok()) return Fail(parsed);
+  MetricsDump metrics(flags.GetBool("metrics"));
   if (flags.GetString("model-file").empty() ||
       flags.GetString("data").empty()) {
     return Fail(

@@ -332,6 +332,43 @@ std::vector<Finding> CheckRawDeserialize(const std::string& path,
   return findings;
 }
 
+std::vector<Finding> CheckSimdIntrinsics(const std::string& path,
+                                         const std::string& source) {
+  // src/simd/ is the one dispatched kernel layer: its *_avx2.cc TUs are
+  // the only code compiled with -mavx2, and every kernel there has a
+  // scalar mirror covered by the equivalence tests.
+  if (path.rfind("src/simd/", 0) == 0) return {};
+  const std::set<size_t> allowed = AllowedLines(source, kRuleSimd);
+  const std::string stripped = StripCommentsAndStrings(source);
+  std::vector<Finding> findings;
+  for (const Ident& ident : Identifiers(stripped)) {
+    // _mm_/_mm256_/_mm512_ intrinsics, __m128/__m256/__m512 vector
+    // types, and the intrinsic headers (immintrin, x86intrin, emmintrin,
+    // arm_neon-style *intrin names).
+    const bool intrinsic =
+        ident.text.rfind("_mm", 0) == 0 ||
+        ident.text.rfind("__m128", 0) == 0 ||
+        ident.text.rfind("__m256", 0) == 0 ||
+        ident.text.rfind("__m512", 0) == 0 ||
+        (ident.text.size() >= 6 &&
+         ident.text.compare(ident.text.size() - 6, 6, "intrin") == 0);
+    if (!intrinsic || allowed.count(ident.line) > 0) continue;
+    Finding finding;
+    finding.file = path;
+    finding.line = ident.line;
+    finding.rule = kRuleSimd;
+    finding.message =
+        "'" + ident.text +
+        "' is a raw SIMD intrinsic outside src/simd/. Vector code goes "
+        "behind the runtime-dispatched kernels in src/simd/ (scalar "
+        "fallback, EAFE_SIMD override, dispatch counters) so it stays "
+        "covered by the scalar-equivalence tests; add a kernel there, or "
+        "append '// eafe-lint: allow(simd)' with a justification.";
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
 std::vector<TestRegistration> ParseTestRegistrations(
     const std::string& cmake_source) {
   // Blank out # comments (CMake has no block comments we use).
@@ -613,7 +650,8 @@ std::optional<std::vector<Finding>> LintRepository(const std::string& root,
     const std::string relative =
         fs::relative(file, base).generic_string();
     for (auto* check :
-         {&CheckDeterminism, &CheckRawThreads, &CheckRawDeserialize}) {
+         {&CheckDeterminism, &CheckRawThreads, &CheckRawDeserialize,
+          &CheckSimdIntrinsics}) {
       std::vector<Finding> found = (*check)(relative, *source);
       findings.insert(findings.end(),
                       std::make_move_iterator(found.begin()),

@@ -41,6 +41,7 @@ inline constexpr char kRuleRawThread[] = "raw-thread";
 inline constexpr char kRuleTestLabels[] = "test-labels";
 inline constexpr char kRuleCacheSignature[] = "cache-signature";
 inline constexpr char kRuleRawDeserialize[] = "raw-deserialize";
+inline constexpr char kRuleSimd[] = "simd";
 
 // Replaces the bodies of //- and /* */-comments and string/char literals
 // with spaces, preserving newlines so byte offsets keep their line numbers.
@@ -80,6 +81,18 @@ std::vector<Finding> CheckRawThreads(const std::string& path,
 // goes through the bounds-checked serve/wire.h readers (model containers
 // via serve/model_store.h); in-process type punning uses std::bit_cast.
 std::vector<Finding> CheckRawDeserialize(const std::string& path,
+                                         const std::string& source);
+
+// ---------------------------------------------------------------------------
+// Rule: simd
+//
+// src/ outside src/simd/ must not use raw SIMD intrinsics: no
+// <immintrin.h>-family includes and no _mm*/__m128/__m256/__m512
+// identifiers. Vector code lives behind the runtime-dispatched kernels in
+// src/simd/ (scalar fallback, EAFE_SIMD override, dispatch counters); a
+// stray intrinsic elsewhere would compile for one ISA only and dodge the
+// scalar-equivalence property tests.
+std::vector<Finding> CheckSimdIntrinsics(const std::string& path,
                                          const std::string& source);
 
 // ---------------------------------------------------------------------------
