@@ -1,0 +1,61 @@
+#include "serve/server/batch_queue.h"
+
+#include <utility>
+
+namespace eafe::serve::server {
+
+bool BatchQueue::TryPush(QueuedPredict request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || queue_.size() >= max_depth_) return false;
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+bool BatchQueue::PopBatch(size_t max_batch_rows,
+                          std::vector<QueuedPredict>* out) {
+  out->clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;
+
+  QueuedPredict head = std::move(queue_.front());
+  queue_.pop_front();
+  size_t rows = head.num_rows;
+  const std::string model_id = head.model_id;
+  const bool proba = head.proba;
+  const uint32_t num_cols = head.num_cols;
+  out->push_back(std::move(head));
+
+  // Greedy same-key drain: matching requests are extracted in arrival
+  // order, everything else keeps its position for the next batch.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    const bool matches = it->model_id == model_id && it->proba == proba &&
+                         it->num_cols == num_cols;
+    if (!matches || rows + it->num_rows > max_batch_rows) {
+      ++it;
+      continue;
+    }
+    rows += it->num_rows;
+    out->push_back(std::move(*it));
+    it = queue_.erase(it);
+  }
+  return true;
+}
+
+void BatchQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t BatchQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace eafe::serve::server

@@ -1,0 +1,76 @@
+#ifndef EAFE_SERVE_SERVER_BATCH_QUEUE_H_
+#define EAFE_SERVE_SERVER_BATCH_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/stopwatch.h"
+
+namespace eafe::serve::server {
+
+/// One admitted predict request waiting for the executor. Identified by
+/// (connection id, request id) so the finished response can be routed
+/// back through the reactor's outbox; carries the parsed row block and
+/// the admission-time stopwatch the latency histogram is fed from.
+struct QueuedPredict {
+  uint64_t conn_id = 0;
+  uint64_t request_id = 0;
+  std::string model_id;
+  bool proba = false;
+  uint32_t num_rows = 0;
+  uint32_t num_cols = 0;
+  std::vector<double> values;  ///< Row-major, num_rows * num_cols.
+  Stopwatch queued;            ///< Started at admission.
+};
+
+/// The admission-control boundary between the reactor and the executor:
+/// a bounded MPSC queue whose TryPush fails — instead of blocking or
+/// growing — once the configured depth is reached, so overload turns
+/// into immediate kShedResponse rejections at the socket rather than
+/// unbounded memory growth and collapsing tail latency.
+///
+/// PopBatch is also the micro-batcher: it blocks for the head request,
+/// then drains every queued request sharing the head's batch key
+/// (model_id, proba, num_cols) up to a row budget, preserving FIFO
+/// order within the key and leaving other models' requests untouched
+/// (per-model routing). Coalescing is greedy over what is already
+/// queued — it never waits for more traffic, so an idle server adds no
+/// batching latency and a busy one amortizes one FlatPredictor batch
+/// walk over many single-row calls.
+class BatchQueue {
+ public:
+  explicit BatchQueue(size_t max_depth) : max_depth_(max_depth) {}
+
+  /// Admits a request unless the queue is at capacity or closed.
+  bool TryPush(QueuedPredict request);
+
+  /// Blocks until a request is available or the queue is closed. Fills
+  /// `out` with the head request plus every queued request with the
+  /// same batch key, in arrival order, stopping before the batch would
+  /// exceed `max_batch_rows` total rows (the head request is always
+  /// taken whole, so oversized single requests still make progress).
+  /// Returns false only when the queue is closed and fully drained.
+  bool PopBatch(size_t max_batch_rows, std::vector<QueuedPredict>* out);
+
+  /// Wakes any blocked PopBatch; subsequent TryPush is refused. Already
+  /// queued requests still drain (the executor answers them on the way
+  /// out).
+  void Close();
+
+  size_t depth() const;
+
+ private:
+  const size_t max_depth_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<QueuedPredict> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace eafe::serve::server
+
+#endif  // EAFE_SERVE_SERVER_BATCH_QUEUE_H_

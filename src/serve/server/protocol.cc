@@ -1,0 +1,208 @@
+#include "serve/server/protocol.h"
+
+#include <utility>
+
+#include "core/string_util.h"
+#include "serve/wire.h"
+
+namespace eafe::serve::server {
+namespace {
+
+/// Wraps a finished payload in the u32 length prefix.
+std::string Frame(ByteWriter writer) {
+  ByteWriter framed;
+  framed.PutU32(static_cast<uint32_t>(writer.bytes().size()));
+  framed.PutBytes(writer.bytes());
+  return framed.Take();
+}
+
+ByteWriter Header(MessageType type, uint64_t request_id) {
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(type));
+  writer.PutU64(request_id);
+  return writer;
+}
+
+bool KnownType(uint8_t raw) {
+  switch (static_cast<MessageType>(raw)) {
+    case MessageType::kPredictRequest:
+    case MessageType::kPingRequest:
+    case MessageType::kMetricsRequest:
+    case MessageType::kListModelsRequest:
+    case MessageType::kPredictResponse:
+    case MessageType::kErrorResponse:
+    case MessageType::kShedResponse:
+    case MessageType::kPongResponse:
+    case MessageType::kMetricsResponse:
+    case MessageType::kModelListResponse:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::optional<FrameView>> PeelFrame(std::string_view buffer,
+                                           size_t max_frame_bytes) {
+  if (buffer.size() < 4) return std::optional<FrameView>();
+  ByteReader header(buffer.substr(0, 4));
+  EAFE_ASSIGN_OR_RETURN(uint32_t length, header.TakeU32());
+  if (length > max_frame_bytes) {
+    return Status::InvalidArgument(
+        StrFormat("frame of %u bytes exceeds the %zu-byte limit",
+                  length, max_frame_bytes));
+  }
+  if (buffer.size() < 4u + length) return std::optional<FrameView>();
+  FrameView view;
+  view.payload = buffer.substr(4, length);
+  view.consumed = 4u + length;
+  return std::optional<FrameView>(view);
+}
+
+Result<Message> ParseMessage(std::string_view payload) {
+  ByteReader reader(payload);
+  Message message;
+  EAFE_ASSIGN_OR_RETURN(uint8_t raw_type, reader.TakeU8());
+  if (!KnownType(raw_type)) {
+    return Status::InvalidArgument(
+        StrFormat("unknown message type %u", raw_type));
+  }
+  message.type = static_cast<MessageType>(raw_type);
+  EAFE_ASSIGN_OR_RETURN(message.request_id, reader.TakeU64());
+  switch (message.type) {
+    case MessageType::kPredictRequest: {
+      EAFE_ASSIGN_OR_RETURN(message.model_id, reader.TakeString());
+      EAFE_ASSIGN_OR_RETURN(uint8_t proba, reader.TakeU8());
+      message.proba = proba != 0;
+      EAFE_ASSIGN_OR_RETURN(message.num_rows, reader.TakeU32());
+      EAFE_ASSIGN_OR_RETURN(message.num_cols, reader.TakeU32());
+      const uint64_t count = static_cast<uint64_t>(message.num_rows) *
+                             static_cast<uint64_t>(message.num_cols);
+      // The division-first comparison keeps count * 8 from overflowing
+      // on hostile row/col values before the exact-size check runs.
+      if (count > reader.remaining() / sizeof(double) ||
+          count * sizeof(double) != reader.remaining()) {
+        return Status::InvalidArgument(
+            StrFormat("predict body declares %llu values but carries %zu "
+                      "bytes",
+                      static_cast<unsigned long long>(count),
+                      reader.remaining()));
+      }
+      message.values.resize(static_cast<size_t>(count));
+      for (double& v : message.values) {
+        EAFE_ASSIGN_OR_RETURN(v, reader.TakeDouble());
+      }
+      break;
+    }
+    case MessageType::kPredictResponse: {
+      EAFE_ASSIGN_OR_RETURN(message.values, reader.TakeDoubleVec());
+      break;
+    }
+    case MessageType::kErrorResponse:
+    case MessageType::kShedResponse: {
+      EAFE_ASSIGN_OR_RETURN(message.code, reader.TakeU32());
+      EAFE_ASSIGN_OR_RETURN(message.text, reader.TakeString());
+      break;
+    }
+    case MessageType::kMetricsResponse: {
+      EAFE_ASSIGN_OR_RETURN(message.text, reader.TakeString());
+      break;
+    }
+    case MessageType::kModelListResponse: {
+      EAFE_ASSIGN_OR_RETURN(uint32_t count, reader.TakeU32());
+      // Each listed name costs at least its u32 length prefix.
+      if (count > reader.remaining() / 4) {
+        return Status::InvalidArgument(
+            StrFormat("model list declares %u names but carries %zu bytes",
+                      count, reader.remaining()));
+      }
+      message.names.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        EAFE_ASSIGN_OR_RETURN(std::string name, reader.TakeString());
+        message.names.push_back(std::move(name));
+      }
+      break;
+    }
+    case MessageType::kPingRequest:
+    case MessageType::kMetricsRequest:
+    case MessageType::kListModelsRequest:
+    case MessageType::kPongResponse:
+      break;
+  }
+  if (!reader.done()) {
+    return Status::InvalidArgument(
+        StrFormat("%zu trailing bytes after message body",
+                  reader.remaining()));
+  }
+  return message;
+}
+
+std::string EncodePredictRequest(uint64_t request_id,
+                                 const std::string& model_id, bool proba,
+                                 uint32_t num_rows, uint32_t num_cols,
+                                 const std::vector<double>& values) {
+  ByteWriter writer = Header(MessageType::kPredictRequest, request_id);
+  writer.PutString(model_id);
+  writer.PutU8(proba ? 1 : 0);
+  writer.PutU32(num_rows);
+  writer.PutU32(num_cols);
+  for (double v : values) writer.PutDouble(v);
+  return Frame(std::move(writer));
+}
+
+std::string EncodePingRequest(uint64_t request_id) {
+  return Frame(Header(MessageType::kPingRequest, request_id));
+}
+
+std::string EncodeMetricsRequest(uint64_t request_id) {
+  return Frame(Header(MessageType::kMetricsRequest, request_id));
+}
+
+std::string EncodeListModelsRequest(uint64_t request_id) {
+  return Frame(Header(MessageType::kListModelsRequest, request_id));
+}
+
+std::string EncodePredictResponse(uint64_t request_id,
+                                  const double* values, size_t count) {
+  ByteWriter writer = Header(MessageType::kPredictResponse, request_id);
+  writer.PutU64(count);
+  for (size_t i = 0; i < count; ++i) writer.PutDouble(values[i]);
+  return Frame(std::move(writer));
+}
+
+std::string EncodeErrorResponse(uint64_t request_id, StatusCode code,
+                                const std::string& message) {
+  ByteWriter writer = Header(MessageType::kErrorResponse, request_id);
+  writer.PutU32(static_cast<uint32_t>(code));
+  writer.PutString(message);
+  return Frame(std::move(writer));
+}
+
+std::string EncodeShedResponse(uint64_t request_id, uint32_t retry_after_ms,
+                               const std::string& message) {
+  ByteWriter writer = Header(MessageType::kShedResponse, request_id);
+  writer.PutU32(retry_after_ms);
+  writer.PutString(message);
+  return Frame(std::move(writer));
+}
+
+std::string EncodePongResponse(uint64_t request_id) {
+  return Frame(Header(MessageType::kPongResponse, request_id));
+}
+
+std::string EncodeMetricsResponse(uint64_t request_id,
+                                  const std::string& text) {
+  ByteWriter writer = Header(MessageType::kMetricsResponse, request_id);
+  writer.PutString(text);
+  return Frame(std::move(writer));
+}
+
+std::string EncodeModelListResponse(uint64_t request_id,
+                                    const std::vector<std::string>& names) {
+  ByteWriter writer = Header(MessageType::kModelListResponse, request_id);
+  writer.PutU32(static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) writer.PutString(name);
+  return Frame(std::move(writer));
+}
+
+}  // namespace eafe::serve::server

@@ -1,0 +1,124 @@
+#ifndef EAFE_SERVE_SERVER_PROTOCOL_H_
+#define EAFE_SERVE_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace eafe::serve::server {
+
+/// Wire protocol of eafe_server: length-prefixed binary frames over a
+/// byte stream, composed with the same explicit little-endian serve/
+/// wire.h codecs as the model container — no struct dumps, every read
+/// bounds-checked, so a truncated or hostile peer can never drive an
+/// out-of-bounds decode.
+///
+///   frame   = u32 payload_len | payload      (payload_len bytes)
+///   payload = u8 type | u64 request_id | type-specific body
+///
+/// Request ids are chosen by the client and echoed verbatim in the
+/// response, so a client may pipeline many requests on one connection
+/// and match replies by id (responses to one connection preserve
+/// request order per type, but shed rejections overtake queued work).
+///
+/// Bodies:
+///   kPredictRequest     string model_id | u8 want_proba | u32 num_rows
+///                       | u32 num_cols | num_rows*num_cols doubles
+///                       (row-major IEEE-754 bits — values round-trip
+///                       bit-identically)
+///   kPredictResponse    u64 count | count doubles (one per request row;
+///                       FPE models score each row as one candidate
+///                       feature column)
+///   kErrorResponse      u32 status_code | string message
+///   kShedResponse       u32 retry_after_ms | string message (admission
+///                       control rejected the request; back off and
+///                       retry — distinct from kErrorResponse so clients
+///                       can tell overload from a bad request)
+///   kMetricsResponse    string prometheus_text
+///   kModelListResponse  u32 count | count strings
+///   kPingRequest / kPongResponse / kMetricsRequest / kListModelsRequest
+///                       empty body
+
+enum class MessageType : uint8_t {
+  kPredictRequest = 1,
+  kPingRequest = 2,
+  kMetricsRequest = 3,
+  kListModelsRequest = 4,
+  kPredictResponse = 33,
+  kErrorResponse = 34,
+  kShedResponse = 35,
+  kPongResponse = 36,
+  kMetricsResponse = 37,
+  kModelListResponse = 38,
+};
+
+/// Frame payloads larger than this are a protocol violation on both
+/// sides; the default accommodates ~500k doubles per predict request.
+inline constexpr size_t kDefaultMaxFrameBytes = 4u << 20;
+
+/// A parsed frame payload — one struct for both directions so the
+/// server's request parser and the client's response parser share one
+/// audited decode path. Only the fields of `type` are meaningful.
+struct Message {
+  MessageType type = MessageType::kPingRequest;
+  uint64_t request_id = 0;
+  // kPredictRequest
+  std::string model_id;
+  bool proba = false;
+  uint32_t num_rows = 0;
+  uint32_t num_cols = 0;
+  std::vector<double> values;  ///< Row-major; also kPredictResponse.
+  // kErrorResponse status code / kShedResponse retry-after milliseconds.
+  uint32_t code = 0;
+  std::string text;  ///< Error message / metrics exposition.
+  std::vector<std::string> names;  ///< kModelListResponse.
+};
+
+/// One frame peeled off the front of a receive buffer.
+struct FrameView {
+  std::string_view payload;  ///< Borrowed from the buffer.
+  size_t consumed = 0;       ///< Header + payload bytes to drop.
+};
+
+/// Splits the next complete frame off `buffer`. Returns an empty
+/// optional when the buffer holds only a partial frame (read more), and
+/// an error when the declared length exceeds `max_frame_bytes` — the
+/// stream cannot be resynchronized after that, so the caller should
+/// answer with an error and close.
+Result<std::optional<FrameView>> PeelFrame(std::string_view buffer,
+                                           size_t max_frame_bytes);
+
+/// Decodes a frame payload into a Message. Every count is validated
+/// against the bytes actually present (a predict body must hold exactly
+/// num_rows * num_cols doubles), so corrupted frames fail with a clean
+/// Status instead of a giant allocation or an out-of-bounds read.
+Result<Message> ParseMessage(std::string_view payload);
+
+// Frame builders: each returns a complete frame (length prefix
+// included), ready to append to a connection's write buffer.
+std::string EncodePredictRequest(uint64_t request_id,
+                                 const std::string& model_id, bool proba,
+                                 uint32_t num_rows, uint32_t num_cols,
+                                 const std::vector<double>& values);
+std::string EncodePingRequest(uint64_t request_id);
+std::string EncodeMetricsRequest(uint64_t request_id);
+std::string EncodeListModelsRequest(uint64_t request_id);
+std::string EncodePredictResponse(uint64_t request_id,
+                                  const double* values, size_t count);
+std::string EncodeErrorResponse(uint64_t request_id, StatusCode code,
+                                const std::string& message);
+std::string EncodeShedResponse(uint64_t request_id, uint32_t retry_after_ms,
+                               const std::string& message);
+std::string EncodePongResponse(uint64_t request_id);
+std::string EncodeMetricsResponse(uint64_t request_id,
+                                  const std::string& text);
+std::string EncodeModelListResponse(uint64_t request_id,
+                                    const std::vector<std::string>& names);
+
+}  // namespace eafe::serve::server
+
+#endif  // EAFE_SERVE_SERVER_PROTOCOL_H_

@@ -1,0 +1,259 @@
+#include "serve/server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/server/batch_queue.h"
+#include "serve/wire.h"
+
+namespace eafe::serve::server {
+namespace {
+
+// --------------------------------------------------------------------------
+// Framing.
+
+TEST(PeelFrameTest, PartialFramesYieldNothing) {
+  const std::string frame = EncodePingRequest(7);
+  // Every strict prefix — including a split length header — parks.
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    const auto peeled =
+        PeelFrame(std::string_view(frame).substr(0, cut),
+                  kDefaultMaxFrameBytes);
+    ASSERT_TRUE(peeled.ok()) << "cut " << cut;
+    EXPECT_FALSE(peeled->has_value()) << "cut " << cut;
+  }
+  const auto whole = PeelFrame(frame, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE(whole->has_value());
+  EXPECT_EQ((*whole)->consumed, frame.size());
+}
+
+TEST(PeelFrameTest, ConsumesExactlyOneFrameFromAPipelinedBuffer) {
+  const std::string buffer =
+      EncodePingRequest(1) + EncodeMetricsRequest(2);
+  const auto first = PeelFrame(buffer, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(first.ok() && first->has_value());
+  const Message message =
+      ParseMessage((*first)->payload).ValueOrDie();
+  EXPECT_EQ(message.type, MessageType::kPingRequest);
+  EXPECT_EQ(message.request_id, 1u);
+
+  const auto second =
+      PeelFrame(std::string_view(buffer).substr((*first)->consumed),
+                kDefaultMaxFrameBytes);
+  ASSERT_TRUE(second.ok() && second->has_value());
+  EXPECT_EQ(ParseMessage((*second)->payload).ValueOrDie().type,
+            MessageType::kMetricsRequest);
+}
+
+TEST(PeelFrameTest, OversizedDeclaredLengthIsAnError) {
+  // 64 MiB declared against a 4 MiB cap: reject before buffering.
+  ByteWriter writer;
+  writer.PutU32(64u << 20);
+  const auto peeled = PeelFrame(writer.bytes(), kDefaultMaxFrameBytes);
+  EXPECT_FALSE(peeled.ok());
+  EXPECT_EQ(peeled.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------------------------
+// Message round trips.
+
+TEST(ProtocolTest, PredictRequestRoundTripIsBitExact) {
+  // Values chosen to catch any lossy re-encoding: signed zero, denormal,
+  // huge, tiny, and an exact NaN bit pattern survive only if doubles
+  // travel as raw IEEE-754 bits.
+  const std::vector<double> values = {-0.0, 5e-324, 1.7976931348623157e308,
+                                      -3.25, std::nan("0x5eed")};
+  const std::string frame =
+      EncodePredictRequest(42, "forest", true, 1, 5, values);
+  const auto view = PeelFrame(frame, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(view.ok() && view->has_value());
+  const Message message = ParseMessage((*view)->payload).ValueOrDie();
+  EXPECT_EQ(message.type, MessageType::kPredictRequest);
+  EXPECT_EQ(message.request_id, 42u);
+  EXPECT_EQ(message.model_id, "forest");
+  EXPECT_TRUE(message.proba);
+  EXPECT_EQ(message.num_rows, 1u);
+  EXPECT_EQ(message.num_cols, 5u);
+  ASSERT_EQ(message.values.size(), values.size());
+  EXPECT_EQ(std::memcmp(message.values.data(), values.data(),
+                        values.size() * sizeof(double)),
+            0);
+}
+
+TEST(ProtocolTest, ResponseRoundTrips) {
+  const double outputs[3] = {0.25, -0.0, 1.0};
+  Message predict =
+      ParseMessage(
+          PeelFrame(EncodePredictResponse(9, outputs, 3),
+                    kDefaultMaxFrameBytes)
+              .ValueOrDie()
+              ->payload)
+          .ValueOrDie();
+  EXPECT_EQ(predict.type, MessageType::kPredictResponse);
+  ASSERT_EQ(predict.values.size(), 3u);
+  EXPECT_EQ(std::memcmp(predict.values.data(), outputs, sizeof(outputs)),
+            0);
+
+  Message error =
+      ParseMessage(PeelFrame(EncodeErrorResponse(
+                                 10, StatusCode::kNotFound, "no model"),
+                             kDefaultMaxFrameBytes)
+                       .ValueOrDie()
+                       ->payload)
+          .ValueOrDie();
+  EXPECT_EQ(error.type, MessageType::kErrorResponse);
+  EXPECT_EQ(static_cast<StatusCode>(error.code), StatusCode::kNotFound);
+  EXPECT_EQ(error.text, "no model");
+
+  Message shed =
+      ParseMessage(PeelFrame(EncodeShedResponse(11, 20, "queue full"),
+                             kDefaultMaxFrameBytes)
+                       .ValueOrDie()
+                       ->payload)
+          .ValueOrDie();
+  EXPECT_EQ(shed.type, MessageType::kShedResponse);
+  EXPECT_EQ(shed.code, 20u);  // the retry-after hint rides the code slot
+
+  Message list = ParseMessage(PeelFrame(EncodeModelListResponse(
+                                            12, {"forest", "fpe"}),
+                                        kDefaultMaxFrameBytes)
+                                  .ValueOrDie()
+                                  ->payload)
+                     .ValueOrDie();
+  EXPECT_EQ(list.type, MessageType::kModelListResponse);
+  EXPECT_EQ(list.names, (std::vector<std::string>{"forest", "fpe"}));
+}
+
+TEST(ProtocolTest, MalformedPayloadsFailCleanly) {
+  // Unknown type byte.
+  EXPECT_FALSE(ParseMessage("\x7f\x00\x00\x00\x00\x00\x00\x00\x00")
+                   .ok());
+  // Empty payload.
+  EXPECT_FALSE(ParseMessage("").ok());
+  // Predict body whose declared row/col product disagrees with the
+  // carried bytes (including the overflowing num_rows * num_cols case).
+  {
+    ByteWriter writer;
+    writer.PutU8(static_cast<uint8_t>(MessageType::kPredictRequest));
+    writer.PutU64(1);
+    writer.PutString("m");
+    writer.PutU8(0);
+    writer.PutU32(0xffffffffu);
+    writer.PutU32(0xffffffffu);
+    writer.PutDouble(1.0);
+    EXPECT_FALSE(ParseMessage(writer.bytes()).ok());
+  }
+  // Trailing garbage after a complete message body.
+  {
+    std::string frame = EncodePingRequest(3);
+    const auto view = PeelFrame(frame, kDefaultMaxFrameBytes);
+    std::string payload(view.ValueOrDie()->payload);
+    payload += "x";
+    EXPECT_FALSE(ParseMessage(payload).ok());
+  }
+  // Truncated predict body.
+  {
+    const std::string frame =
+        EncodePredictRequest(4, "m", false, 2, 2, {1, 2, 3, 4});
+    const auto view = PeelFrame(frame, kDefaultMaxFrameBytes);
+    std::string payload(view.ValueOrDie()->payload);
+    payload.resize(payload.size() - 5);
+    EXPECT_FALSE(ParseMessage(payload).ok());
+  }
+}
+
+// --------------------------------------------------------------------------
+// Admission control + micro-batching.
+
+QueuedPredict Request(uint64_t id, const std::string& model, bool proba,
+                      uint32_t rows, uint32_t cols) {
+  QueuedPredict request;
+  request.conn_id = 1;
+  request.request_id = id;
+  request.model_id = model;
+  request.proba = proba;
+  request.num_rows = rows;
+  request.num_cols = cols;
+  request.values.assign(size_t{rows} * cols, 0.5);
+  return request;
+}
+
+TEST(BatchQueueTest, RefusesBeyondDepthLimit) {
+  BatchQueue queue(2);
+  EXPECT_TRUE(queue.TryPush(Request(1, "m", false, 1, 3)));
+  EXPECT_TRUE(queue.TryPush(Request(2, "m", false, 1, 3)));
+  EXPECT_FALSE(queue.TryPush(Request(3, "m", false, 1, 3)));
+  EXPECT_EQ(queue.depth(), 2u);
+
+  std::vector<QueuedPredict> batch;
+  ASSERT_TRUE(queue.PopBatch(100, &batch));
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(queue.TryPush(Request(4, "m", false, 1, 3)));
+}
+
+TEST(BatchQueueTest, CoalescesOnlyMatchingKeyInFifoOrder) {
+  BatchQueue queue(16);
+  ASSERT_TRUE(queue.TryPush(Request(1, "a", false, 1, 3)));
+  ASSERT_TRUE(queue.TryPush(Request(2, "b", false, 1, 3)));  // other model
+  ASSERT_TRUE(queue.TryPush(Request(3, "a", true, 1, 3)));   // other proba
+  ASSERT_TRUE(queue.TryPush(Request(4, "a", false, 1, 4)));  // other width
+  ASSERT_TRUE(queue.TryPush(Request(5, "a", false, 2, 3)));  // matches head
+
+  std::vector<QueuedPredict> batch;
+  ASSERT_TRUE(queue.PopBatch(100, &batch));
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].request_id, 1u);
+  EXPECT_EQ(batch[1].request_id, 5u);
+
+  // The skipped requests kept their arrival order.
+  ASSERT_TRUE(queue.PopBatch(100, &batch));
+  EXPECT_EQ(batch[0].request_id, 2u);
+  ASSERT_TRUE(queue.PopBatch(100, &batch));
+  EXPECT_EQ(batch[0].request_id, 3u);
+  ASSERT_TRUE(queue.PopBatch(100, &batch));
+  EXPECT_EQ(batch[0].request_id, 4u);
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(BatchQueueTest, RespectsRowBudgetButAlwaysTakesTheHead) {
+  BatchQueue queue(16);
+  ASSERT_TRUE(queue.TryPush(Request(1, "m", false, 8, 2)));
+  ASSERT_TRUE(queue.TryPush(Request(2, "m", false, 8, 2)));
+  ASSERT_TRUE(queue.TryPush(Request(3, "m", false, 8, 2)));
+
+  std::vector<QueuedPredict> batch;
+  // Budget of 16 rows fits exactly two of the three.
+  ASSERT_TRUE(queue.PopBatch(16, &batch));
+  EXPECT_EQ(batch.size(), 2u);
+
+  // A follower that would blow the budget waits for the next batch.
+  ASSERT_TRUE(queue.TryPush(Request(4, "m", false, 64, 2)));
+  ASSERT_TRUE(queue.PopBatch(16, &batch));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request_id, 3u);
+
+  // An oversized head still ships (progress beats the budget) — alone.
+  ASSERT_TRUE(queue.PopBatch(16, &batch));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request_id, 4u);
+}
+
+TEST(BatchQueueTest, CloseDrainsThenReportsShutdown) {
+  BatchQueue queue(4);
+  ASSERT_TRUE(queue.TryPush(Request(1, "m", false, 1, 2)));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(Request(2, "m", false, 1, 2)));
+
+  std::vector<QueuedPredict> batch;
+  ASSERT_TRUE(queue.PopBatch(100, &batch));  // queued work still drains
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_FALSE(queue.PopBatch(100, &batch));  // then shutdown
+}
+
+}  // namespace
+}  // namespace eafe::serve::server

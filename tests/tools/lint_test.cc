@@ -180,6 +180,52 @@ TEST(SimdRuleTest, SimdDirCommentsAndEscapeAreExempt) {
                   .empty());
 }
 
+TEST(ServeSocketTest, FiresOnRawSocketCallsOutsideServerDir) {
+  const std::string source =
+      "int fd = socket(AF_INET, SOCK_STREAM, 0);\n"
+      "::bind(fd, addr, len);\n"
+      "send(fd, buf, n, 0);\n"
+      "recv(fd, buf, n, 0);\n";
+  const std::vector<Finding> findings =
+      CheckServeSockets("src/afe/eval_service.cc", source);
+  ASSERT_EQ(findings.size(), 4u);
+  EXPECT_EQ(findings[0].rule, kRuleServeSocket);
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_NE(findings[0].message.find("src/serve/server/"),
+            std::string::npos);
+  EXPECT_EQ(findings[1].line, 2u);  // global-scope ::bind is the POSIX one
+}
+
+TEST(ServeSocketTest, ServerDirIsExempt) {
+  EXPECT_TRUE(CheckServeSockets(
+                  "src/serve/server/server.cc",
+                  "::listen(fd, 128);\n::accept(fd, nullptr, nullptr);\n")
+                  .empty());
+}
+
+TEST(ServeSocketTest, IgnoresLookalikesMembersAndStdBind) {
+  // std::bind is the <functional> adaptor, not the socket call.
+  EXPECT_TRUE(CheckServeSockets(
+                  "src/ml/x.cc", "auto f = std::bind(&F::g, this);")
+                  .empty());
+  // Member calls belong to someone else's API.
+  EXPECT_TRUE(CheckServeSockets(
+                  "src/ml/x.cc",
+                  "client.send(data);\nchannel->recv(buffer);")
+                  .empty());
+  // Mentions outside call position (prose, variable names) do not fire.
+  EXPECT_TRUE(CheckServeSockets(
+                  "src/ml/x.cc",
+                  "// send the batch through the socket layer\n"
+                  "int send_count = 0; send_count += 1;")
+                  .empty());
+  // The per-line escape hatch works.
+  EXPECT_TRUE(CheckServeSockets(
+                  "src/ml/x.cc",
+                  "send(fd, b, n, 0);  // eafe-lint: allow(serve-socket) x\n")
+                  .empty());
+}
+
 constexpr char kTestsCMake[] = R"cmake(
 # labels drive suite selection
 eafe_add_test(good_test

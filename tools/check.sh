@@ -13,6 +13,12 @@
 #   asan     full ctest under AddressSanitizer in build-asan/
 #   ubsan    full ctest under UndefinedBehaviorSanitizer in build-ubsan/
 #   tsan     every test labeled `tsan` under ThreadSanitizer in build-tsan/
+#   serve    end-to-end eafe_server gate in build-release/: train a
+#            fixture model, start the server, eafe_loadgen --smoke
+#            (bit-identity vs direct FlatPredictor), a load run that
+#            snapshots QPS/p50/p99 into BENCH_serve.json, a forced
+#            overload that must shed instead of stall, and
+#            bench_schema_check over every BENCH_*.json
 #
 # All suites configure with -DEAFE_WERROR=ON: the warning wall
 # (-Wall -Wextra -Wshadow -Wconversion) is kept clean, so a new warning is
@@ -31,7 +37,7 @@ set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 2)"
-suites="lint debug release asan ubsan tsan"
+suites="lint debug release asan ubsan tsan serve"
 suite="all"
 label=""
 
@@ -71,7 +77,8 @@ run_lint() {
   cmake -B "${root}/build" -S "${root}" -DEAFE_WERROR=ON >/dev/null
   cmake --build "${root}/build" -j "${jobs}" \
     --target eafe_lint eafe_lint_test
-  ctest --test-dir "${root}/build" --output-on-failure -L '^lint$'
+  ctest --test-dir "${root}/build" --output-on-failure --timeout 600 \
+    -L '^lint$'
   if command -v clang-tidy >/dev/null 2>&1; then
     "${root}/tools/run_clang_tidy.sh" "${root}/build"
   else
@@ -84,8 +91,8 @@ run_debug() {
   cmake -B "${root}/build" -S "${root}" -DEAFE_WERROR=ON >/dev/null
   cmake --build "${root}/build" -j "${jobs}"
   # shellcheck disable=SC2046
-  ctest --test-dir "${root}/build" --output-on-failure -j "${jobs}" \
-    $(label_args "${label}")
+  ctest --test-dir "${root}/build" --output-on-failure --timeout 600 \
+    -j "${jobs}" $(label_args "${label}")
 }
 
 run_release() {
@@ -109,7 +116,7 @@ run_release() {
   # Forced-fallback rerun: the simd-labeled dispatch-equivalence tests
   # must stay green with every specialized tier disabled.
   EAFE_SIMD=scalar ctest --test-dir "${root}/build-release" \
-    --output-on-failure -L '^simd$'
+    --output-on-failure --timeout 600 -L '^simd$'
 }
 
 run_asan() {
@@ -121,8 +128,8 @@ run_asan() {
     -DEAFE_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build "${root}/build-asan" -j "${jobs}"
   # shellcheck disable=SC2046
-  ctest --test-dir "${root}/build-asan" --output-on-failure -j "${jobs}" \
-    $(label_args "${label}")
+  ctest --test-dir "${root}/build-asan" --output-on-failure --timeout 600 \
+    -j "${jobs}" $(label_args "${label}")
 }
 
 run_ubsan() {
@@ -137,8 +144,8 @@ run_ubsan() {
   # aborts the test; print_stacktrace makes the abort actionable.
   # shellcheck disable=SC2046
   UBSAN_OPTIONS=print_stacktrace=1 \
-    ctest --test-dir "${root}/build-ubsan" --output-on-failure -j "${jobs}" \
-    $(label_args "${label}")
+    ctest --test-dir "${root}/build-ubsan" --output-on-failure --timeout 600 \
+    -j "${jobs}" $(label_args "${label}")
 }
 
 run_tsan() {
@@ -156,8 +163,89 @@ run_tsan() {
   fi
   # shellcheck disable=SC2086
   cmake --build "${root}/build-tsan" -j "${jobs}" --target ${targets}
-  ctest --test-dir "${root}/build-tsan" --output-on-failure -j "${jobs}" \
-    -L '^tsan$'
+  ctest --test-dir "${root}/build-tsan" --output-on-failure --timeout 600 \
+    -j "${jobs}" -L '^tsan$'
+}
+
+# Launch an eafe_server in the background, wait for its port file, and
+# record its pid for teardown. Usage: start_server <portfile> <args...>
+serve_pids=""
+start_server() {
+  local portfile="$1"
+  shift
+  rm -f "${portfile}"
+  "${root}/build-release/tools/eafe_server" --port-file "${portfile}" "$@" &
+  serve_pids="${serve_pids} $!"
+  for _ in $(seq 1 100); do
+    [[ -s "${portfile}" ]] && return 0
+    if ! kill -0 "${serve_pids##* }" 2>/dev/null; then
+      echo "eafe_server exited before publishing its port" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  echo "eafe_server never published its port" >&2
+  return 1
+}
+
+stop_servers() {
+  local pid
+  for pid in ${serve_pids}; do
+    kill "${pid}" 2>/dev/null || true
+    wait "${pid}" 2>/dev/null || true
+  done
+  serve_pids=""
+}
+
+run_serve() {
+  echo "== serve: eafe_server end-to-end gate (${root}/build-release) =="
+  cmake -B "${root}/build-release" -S "${root}" \
+    -DCMAKE_BUILD_TYPE=Release -DEAFE_WERROR=ON >/dev/null
+  cmake --build "${root}/build-release" -j "${jobs}" \
+    --target eafe_cli eafe_server eafe_loadgen bench_schema_check
+
+  local work
+  work="$(mktemp -d "${TMPDIR:-/tmp}/eafe_serve.XXXXXX")"
+  # The server must come down even when a gate in between fails — a
+  # leaked daemon would wedge later CI steps on the same port/runner.
+  trap 'stop_servers; rm -rf "${work}"' EXIT
+
+  # Fixture: the deterministic classification table the configure step
+  # writes for the CLI tests, trained through the same CLI users run.
+  "${root}/build-release/tools/eafe" save-model \
+    --data "${root}/build-release/tests/cli_fixture.csv" --label y \
+    --task classification --out "${work}/model.eafe"
+
+  # Gate 1: smoke — handshake, model listing, metrics exposition, and
+  # bit-identical single-row predictions vs a direct FlatPredictor.
+  start_server "${work}/server.port" --model-file "${work}/model.eafe"
+  "${root}/build-release/tools/eafe_loadgen" \
+    --port-file "${work}/server.port" --model-file "${work}/model.eafe" \
+    --smoke
+
+  # Gate 2: load run — snapshots QPS/p50/p99 into BENCH_serve.json at
+  # the repo root, where the schema gate and CI artifact upload find it.
+  rm -f "${root}/BENCH_serve.json"
+  "${root}/build-release/tools/eafe_loadgen" \
+    --port-file "${work}/server.port" --model-file "${work}/model.eafe" \
+    --connections 8 --requests 200 --out "${root}/BENCH_serve.json"
+  stop_servers
+
+  # Gate 3: forced overload — a one-deep queue behind a deliberately
+  # slow executor must shed with a retry hint, never stall the burst.
+  start_server "${work}/overload.port" --model-file "${work}/model.eafe" \
+    --queue-limit 1 --debug-batch-sleep-ms 40
+  "${root}/build-release/tools/eafe_loadgen" \
+    --port-file "${work}/overload.port" --model-file "${work}/model.eafe" \
+    --requests 64 --expect-shed
+  stop_servers
+
+  # Gate 4: every committed snapshot plus the fresh serve line must
+  # satisfy the bench schema.
+  "${root}/build-release/tools/bench_schema_check" "${root}"/BENCH_*.json
+
+  trap - EXIT
+  rm -rf "${work}"
 }
 
 case "${suite}" in
@@ -167,8 +255,9 @@ case "${suite}" in
   asan) run_asan ;;
   ubsan) run_ubsan ;;
   tsan) run_tsan ;;
-  no-tsan) run_lint; run_debug; run_release; run_asan; run_ubsan ;;
-  all) run_lint; run_debug; run_release; run_asan; run_ubsan; run_tsan ;;
+  serve) run_serve ;;
+  no-tsan) run_lint; run_debug; run_release; run_asan; run_ubsan; run_serve ;;
+  all) run_lint; run_debug; run_release; run_asan; run_ubsan; run_tsan; run_serve ;;
 esac
 
 echo "== check.sh: OK =="

@@ -369,6 +369,54 @@ std::vector<Finding> CheckSimdIntrinsics(const std::string& path,
   return findings;
 }
 
+std::vector<Finding> CheckServeSockets(const std::string& path,
+                                       const std::string& source) {
+  // src/serve/server/ is the one audited networking layer: every fd
+  // there is non-blocking, every frame bounded, and the overload and
+  // robustness tests in tests/serve/ exercise exactly that code.
+  if (path.rfind("src/serve/server/", 0) == 0) return {};
+  static const std::unordered_set<std::string> kBanned = {
+      "socket",     "bind",        "listen",      "accept",
+      "accept4",    "connect",     "send",        "recv",
+      "sendto",     "recvfrom",    "sendmsg",     "recvmsg",
+      "setsockopt", "getsockopt",  "getsockname", "getpeername",
+      "shutdown"};
+  const std::set<size_t> allowed = AllowedLines(source, kRuleServeSocket);
+  const std::string stripped = StripCommentsAndStrings(source);
+  std::vector<Finding> findings;
+  const std::vector<Ident> idents = Identifiers(stripped);
+  for (size_t i = 0; i < idents.size(); ++i) {
+    const Ident& ident = idents[i];
+    if (kBanned.count(ident.text) == 0) continue;
+    // Only call position fires: `send(` but not a mention of the word.
+    if (NextNonSpace(stripped, ident.end) != '(') continue;
+    // Member calls (client.send(...), conn->recv(...)) are someone
+    // else's API, not the POSIX one.
+    if (ident.prev == '.' || ident.prev == '>') continue;
+    // Qualified names: `::bind(` is the POSIX call, `std::bind(` (or any
+    // other namespace) is not.
+    if (ident.prev == ':' && i > 0 && idents[i - 1].text != "" &&
+        FollowedBy(stripped, idents[i - 1].end, "::") &&
+        idents[i - 1].end < ident.begin) {
+      continue;
+    }
+    if (allowed.count(ident.line) > 0) continue;
+    Finding finding;
+    finding.file = path;
+    finding.line = ident.line;
+    finding.rule = kRuleServeSocket;
+    finding.message =
+        "'" + ident.text +
+        "' touches the raw socket surface outside src/serve/server/. "
+        "Networking lives behind EafeServer / BlockingClient there — "
+        "non-blocking fds, bounded frames, admission control, covered by "
+        "the serve robustness tests; use those, or append "
+        "'// eafe-lint: allow(serve-socket)' with a justification.";
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
 std::vector<TestRegistration> ParseTestRegistrations(
     const std::string& cmake_source) {
   // Blank out # comments (CMake has no block comments we use).
@@ -651,7 +699,7 @@ std::optional<std::vector<Finding>> LintRepository(const std::string& root,
         fs::relative(file, base).generic_string();
     for (auto* check :
          {&CheckDeterminism, &CheckRawThreads, &CheckRawDeserialize,
-          &CheckSimdIntrinsics}) {
+          &CheckSimdIntrinsics, &CheckServeSockets}) {
       std::vector<Finding> found = (*check)(relative, *source);
       findings.insert(findings.end(),
                       std::make_move_iterator(found.begin()),

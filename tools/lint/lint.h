@@ -42,6 +42,7 @@ inline constexpr char kRuleTestLabels[] = "test-labels";
 inline constexpr char kRuleCacheSignature[] = "cache-signature";
 inline constexpr char kRuleRawDeserialize[] = "raw-deserialize";
 inline constexpr char kRuleSimd[] = "simd";
+inline constexpr char kRuleServeSocket[] = "serve-socket";
 
 // Replaces the bodies of //- and /* */-comments and string/char literals
 // with spaces, preserving newlines so byte offsets keep their line numbers.
@@ -94,6 +95,18 @@ std::vector<Finding> CheckRawDeserialize(const std::string& path,
 // scalar-equivalence property tests.
 std::vector<Finding> CheckSimdIntrinsics(const std::string& path,
                                          const std::string& source);
+
+// ---------------------------------------------------------------------------
+// Rule: serve-socket
+//
+// src/ outside src/serve/server/ must not call the raw POSIX socket
+// surface (socket, bind, listen, accept, connect, send, recv, ...). The
+// server directory is the one audited networking layer — non-blocking
+// fds, bounded frames, admission control — and a stray blocking send()
+// elsewhere would dodge its overload and robustness tests. Member calls
+// (client.send(...)) and std::bind are not socket calls and do not fire.
+std::vector<Finding> CheckServeSockets(const std::string& path,
+                                       const std::string& source);
 
 // ---------------------------------------------------------------------------
 // Rule: test-labels
