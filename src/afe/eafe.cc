@@ -1,6 +1,7 @@
 #include "afe/eafe.h"
 
 #include "afe/eval_service.h"
+#include "afe/search_pipeline.h"
 #include "core/rng.h"
 #include "core/stopwatch.h"
 
@@ -141,7 +142,8 @@ Result<SearchResult> EafeSearch::Run(const data::Dataset& dataset) {
 
   // Stage 1: quick initialization with the FPE model (kFull only;
   // kPolicyGradient ablates the two-stage strategy, kRandomDrop has no
-  // model to initialize from).
+  // model to initialize from). Serial: its feedback loop is the cheap
+  // FPE probe itself, so there is nothing to overlap.
   if (options_.variant == Variant::kFull && options_.stage1_epochs > 0) {
     Stopwatch stage1_watch;
     EAFE_RETURN_NOT_OK(RunStage1(dataset, &agents, &rng, &result));
@@ -173,64 +175,72 @@ Result<SearchResult> EafeSearch::Run(const data::Dataset& dataset) {
   }
   size_t replay_cursor = 0;
 
+  StepPipelineConfig pipeline_config;
+  pipeline_config.mode = options_.search.pipeline;
+  pipeline_config.queue_capacity = options_.search.pipeline_queue_capacity;
+  pipeline_config.filter = options_.variant == Variant::kRandomDrop
+                               ? StepFilter::kRandomDrop
+                               : StepFilter::kFpe;
+  pipeline_config.fpe_model = options_.fpe_model;
+  pipeline_config.fpe_accept_threshold = options_.fpe_accept_threshold;
+
   size_t last_improvement_epoch = 0;
   size_t kept_at_last_improvement = 0;
   for (size_t epoch = 0; epoch < options_.search.epochs; ++epoch) {
     const double progress = static_cast<double>(epoch) /
                             static_cast<double>(options_.search.epochs);
+    // Generation runs against the frame (the space frozen at epoch
+    // start); every result-affecting RNG draw — action samples, replay
+    // bias, random-drop verdicts — happens here on the calling thread,
+    // so the stream is identical in sync and async mode. Rewards,
+    // accepts, and policy updates happen at the merge barrier below.
+    // Within an episode the agent state uses the previous *sampled*
+    // action and a zero reward placeholder (rewards are unknown until
+    // the merge); the recorded REINFORCE action is fixed up at merge
+    // time to the attempt the filter chose.
+    SearchStepPipeline pipeline(pipeline_config, &space, &eval_service);
     for (size_t group = 0; group < space.num_groups(); ++group) {
       RnnAgent& agent = agents[group];
       agent.ResetEpisode();
       int last_action = -1;
-      double last_reward = 0.0;
-      std::vector<size_t> actions;
-      std::vector<double> rewards;
       for (size_t step = 0; step < options_.search.steps_per_agent; ++step) {
         const std::vector<double> state = BuildAgentState(
-            last_action, last_reward, space.group(group).size(), progress);
+            last_action, 0.0, space.group(group).size(), progress);
         const std::vector<double> probs = agent.Step(state);
+
+        StepTask task;
+        task.group = group;
 
         // Replay phase: consume the pre-screened stage-1 features first.
         if (replay_cursor < replay_queue.size()) {
           const ReplayEntry& entry = replay_queue[replay_cursor++];
-          const size_t replay_action = static_cast<size_t>(entry.op);
-          double reward = 0.0;
-          if (!space.Contains(entry.group, entry.column.name())) {
-            SpaceFeature candidate;
-            candidate.column = entry.column;
-            candidate.order = entry.order;
-            eval_watch.Restart();
-            EAFE_ASSIGN_OR_RETURN(
-                double gain,
-                eval_service.EvaluateGain(space, candidate,
-                                          result.best_score));
-            result.evaluation_seconds += eval_watch.ElapsedSeconds();
-            ++result.features_evaluated;
-            reward = gain;
-            if (gain > options_.search.accept_margin &&
-                space.Accept(entry.group, std::move(candidate)).ok()) {
-              result.best_score += gain;
-              ++result.features_kept;
-            }
-          }
-          actions.push_back(replay_action);
-          rewards.push_back(reward);
-          last_action = static_cast<int>(replay_action);
-          last_reward = reward;
+          task.accept_group = entry.group;
+          task.pre_vetted = true;  // Stage 1 already screened it.
+          // Already in the frame: keep the recorded action but let the
+          // filter/eval stages pass the task through untouched.
+          task.skipped = space.Contains(entry.group, entry.column.name());
+          StepAttempt attempt;
+          attempt.action_index = static_cast<size_t>(entry.op);
+          attempt.generated = true;
+          attempt.candidate.column = entry.column;
+          attempt.candidate.order = entry.order;
+          task.attempts.push_back(std::move(attempt));
+          last_action = static_cast<int>(entry.op);
+          pipeline.Submit(std::move(task));
           continue;
         }
 
-        // Retry generation until the pre-evaluation passes a candidate or
-        // attempts run out — filtering saves evaluations, not generation
-        // (Table I shows generation is negligible). The policy probs stay
-        // fixed within the step, so the single recorded action below is a
-        // valid REINFORCE sample.
-        double reward = 0.0;
-        size_t action_index = agent.SampleAction(probs, &rng);
-        for (size_t attempt = 0;
-             attempt < std::max<size_t>(options_.max_generation_attempts, 1);
-             ++attempt) {
-          action_index = agent.SampleAction(probs, &rng);
+        // Fresh phase: pre-draw every generation attempt — the filter
+        // stage keeps the first that passes. Retrying generation saves
+        // evaluations, not generation (Table I shows generation is
+        // negligible). The policy probs stay fixed within the step, so
+        // the single recorded action stays a valid REINFORCE sample.
+        task.accept_group = group;
+        for (size_t attempt_index = 0;
+             attempt_index <
+             std::max<size_t>(options_.max_generation_attempts, 1);
+             ++attempt_index) {
+          size_t action_index = agent.SampleAction(probs, &rng);
           // Bias fresh generation toward operators that produced
           // FPE-positive features in stage 1.
           const bool use_replay =
@@ -246,53 +256,74 @@ Result<SearchResult> EafeSearch::Run(const data::Dataset& dataset) {
               space.MakeAction(group, op, &rng);
           auto candidate = space.GenerateCandidate(action);
           result.generation_seconds += gen_watch.ElapsedSeconds();
-          if (!candidate.ok()) continue;
-          ++result.features_generated;
 
-          // Pre-evaluation filter.
-          bool passes = true;
-          if (options_.variant == Variant::kRandomDrop) {
-            passes = rng.Bernoulli(options_.random_drop_pass_rate);
-          } else {
-            EAFE_ASSIGN_OR_RETURN(
-                double p_effective,
-                options_.fpe_model->PredictProbability(
-                    candidate->column.values()));
-            passes = p_effective >= options_.fpe_accept_threshold;
+          StepAttempt attempt;
+          attempt.action_index = action_index;
+          if (candidate.ok()) {
+            ++result.features_generated;
+            attempt.generated = true;
+            attempt.candidate = std::move(candidate).ValueOrDie();
+            if (options_.variant == Variant::kRandomDrop) {
+              attempt.forced_verdict =
+                  rng.Bernoulli(options_.random_drop_pass_rate);
+            }
           }
-          if (!passes) continue;
+          task.attempts.push_back(std::move(attempt));
+        }
+        last_action = static_cast<int>(task.attempts.back().action_index);
+        pipeline.Submit(std::move(task));
+      }
+    }
+    EAFE_ASSIGN_OR_RETURN(auto tasks, pipeline.Finish());
 
-          eval_watch.Restart();
-          EAFE_ASSIGN_OR_RETURN(
-              double gain,
-              eval_service.EvaluateGain(space, *candidate,
-                                        result.best_score));
-          result.evaluation_seconds += eval_watch.ElapsedSeconds();
+    // Merge: gains against the running best, greedy accepts (re-checking
+    // Contains — two steps of one epoch can generate the same name
+    // against the shared frame), then one policy update per agent.
+    size_t task_index = 0;
+    for (size_t group = 0; group < space.num_groups(); ++group) {
+      std::vector<size_t> actions;
+      std::vector<double> rewards;
+      for (size_t step = 0; step < options_.search.steps_per_agent; ++step) {
+        StepTask& task = tasks[task_index++];
+        double reward = 0.0;
+        if (task.evaluated) {
+          result.evaluation_seconds += task.eval_seconds;
           ++result.features_evaluated;
+          const double gain = task.score - result.best_score;
           reward = gain;
+          SpaceFeature& candidate =
+              task.attempts[static_cast<size_t>(task.chosen)].candidate;
           if (gain > options_.search.accept_margin &&
-              space.Accept(group, std::move(candidate).ValueOrDie()).ok()) {
+              !space.Contains(task.accept_group, candidate.column.name()) &&
+              space.Accept(task.accept_group, std::move(candidate)).ok()) {
             result.best_score += gain;
             ++result.features_kept;
           }
-          break;
         }
-        actions.push_back(action_index);
+        // The recorded REINFORCE action: the attempt the filter chose
+        // when one passed, otherwise the last sampled attempt.
+        size_t recorded_action = 0;
+        if (!task.attempts.empty()) {
+          recorded_action =
+              task.chosen >= 0
+                  ? task.attempts[static_cast<size_t>(task.chosen)].action_index
+                  : task.attempts.back().action_index;
+        }
+        actions.push_back(recorded_action);
         rewards.push_back(reward);
-        last_action = static_cast<int>(action_index);
-        last_reward = reward;
       }
       // kFull / kRandomDrop use the Eq. 10 lambda-return; the
       // kPolicyGradient ablation uses NFS-style discounted returns.
       if (options_.variant == Variant::kPolicyGradient) {
-        agent.Update(actions,
-                     DiscountedReturns(rewards, options_.search.gamma));
+        agents[group].Update(
+            actions, DiscountedReturns(rewards, options_.search.gamma));
       } else {
-        agent.Update(actions,
-                     LambdaReturns(rewards, options_.search.gamma,
-                                   options_.search.lambda));
+        agents[group].Update(actions,
+                             LambdaReturns(rewards, options_.search.gamma,
+                                           options_.search.lambda));
       }
     }
+
     EpochStats stats;
     stats.epoch = epoch;
     stats.best_score = result.best_score;

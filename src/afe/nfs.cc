@@ -2,6 +2,7 @@
 
 #include "afe/eval_service.h"
 #include "afe/reward.h"
+#include "afe/search_pipeline.h"
 #include "core/rng.h"
 #include "core/stopwatch.h"
 
@@ -43,57 +44,87 @@ Result<SearchResult> NfsSearch::Run(const data::Dataset& dataset) {
     agents.emplace_back(agent_options);
   }
 
+  StepPipelineConfig pipeline_config;
+  pipeline_config.mode = options_.pipeline;
+  pipeline_config.queue_capacity = options_.pipeline_queue_capacity;
+  pipeline_config.filter = StepFilter::kNone;
+
   size_t last_improvement_epoch = 0;
   size_t kept_at_last_improvement = 0;
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
     const double progress =
         static_cast<double>(epoch) / static_cast<double>(options_.epochs);
+    // Generation runs against the frame (the space frozen at epoch
+    // start); rewards, accepts, and policy updates all happen at the
+    // merge barrier below, in submission order, so results are
+    // bit-identical in sync and async mode. Within an episode the
+    // agent state uses the previous *sampled* action and a zero reward
+    // placeholder — rewards are not known until the merge.
+    SearchStepPipeline pipeline(pipeline_config, &space, &eval_service);
     for (size_t group = 0; group < space.num_groups(); ++group) {
       RnnAgent& agent = agents[group];
       agent.ResetEpisode();
       int last_action = -1;
-      double last_reward = 0.0;
-      std::vector<size_t> actions;
-      std::vector<double> rewards;
       for (size_t step = 0; step < options_.steps_per_agent; ++step) {
         const std::vector<double> state = BuildAgentState(
-            last_action, last_reward, space.group(group).size(), progress);
+            last_action, 0.0, space.group(group).size(), progress);
         const std::vector<double> probs = agent.Step(state);
         const size_t action_index = agent.SampleAction(probs, &rng);
         const Operator op = AllOperators()[action_index];
 
         Stopwatch gen_watch;
-        const FeatureSpace::Action action =
-            space.MakeAction(group, op, &rng);
+        const FeatureSpace::Action action = space.MakeAction(group, op, &rng);
         auto candidate = space.GenerateCandidate(action);
         result.generation_seconds += gen_watch.ElapsedSeconds();
 
-        double reward = 0.0;
+        StepTask task;
+        task.group = group;
+        task.accept_group = group;
+        StepAttempt attempt;
+        attempt.action_index = action_index;
         if (candidate.ok()) {
           ++result.features_generated;
-          eval_watch.Restart();
-          EAFE_ASSIGN_OR_RETURN(
-              double gain,
-              eval_service.EvaluateGain(space, *candidate,
-                                        result.best_score));
-          result.evaluation_seconds += eval_watch.ElapsedSeconds();
+          attempt.generated = true;
+          attempt.candidate = std::move(candidate).ValueOrDie();
+        }
+        task.attempts.push_back(std::move(attempt));
+        pipeline.Submit(std::move(task));
+        last_action = static_cast<int>(action_index);
+      }
+    }
+    EAFE_ASSIGN_OR_RETURN(auto tasks, pipeline.Finish());
+
+    // Merge: gains against the running best, greedy accepts, then one
+    // policy-gradient update per agent on its episode.
+    size_t task_index = 0;
+    for (size_t group = 0; group < space.num_groups(); ++group) {
+      std::vector<size_t> actions;
+      std::vector<double> rewards;
+      for (size_t step = 0; step < options_.steps_per_agent; ++step) {
+        StepTask& task = tasks[task_index++];
+        double reward = 0.0;
+        if (task.evaluated) {
+          result.evaluation_seconds += task.eval_seconds;
           ++result.features_evaluated;
+          const double gain = task.score - result.best_score;
           reward = gain;
+          SpaceFeature& candidate =
+              task.attempts[static_cast<size_t>(task.chosen)].candidate;
           if (gain > options_.accept_margin &&
-              space.Accept(group, std::move(candidate).ValueOrDie()).ok()) {
+              !space.Contains(task.accept_group, candidate.column.name()) &&
+              space.Accept(task.accept_group, std::move(candidate)).ok()) {
             result.best_score += gain;
             ++result.features_kept;
           }
         }
-        actions.push_back(action_index);
+        actions.push_back(task.attempts.front().action_index);
         rewards.push_back(reward);
-        last_action = static_cast<int>(action_index);
-        last_reward = reward;
       }
       // NFS trains the controller with plain policy gradient on
       // discounted gains (no lambda-return, no replay).
-      agent.Update(actions, DiscountedReturns(rewards, options_.gamma));
+      agents[group].Update(actions, DiscountedReturns(rewards, options_.gamma));
     }
+
     EpochStats stats;
     stats.epoch = epoch;
     stats.best_score = result.best_score;

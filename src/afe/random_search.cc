@@ -1,6 +1,7 @@
 #include "afe/random_search.h"
 
 #include "afe/eval_service.h"
+#include "afe/search_pipeline.h"
 #include "core/rng.h"
 #include "core/stopwatch.h"
 
@@ -30,33 +31,58 @@ Result<SearchResult> RandomSearch::Run(const data::Dataset& dataset) {
   result.evaluation_seconds += eval_watch.ElapsedSeconds();
   result.best_score = result.base_score;
 
+  StepPipelineConfig pipeline_config;
+  pipeline_config.mode = options_.pipeline;
+  pipeline_config.queue_capacity = options_.pipeline_queue_capacity;
+  pipeline_config.filter = StepFilter::kNone;
+
   size_t last_improvement_epoch = 0;
   size_t kept_at_last_improvement = 0;
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Generation runs against the feature space frozen at epoch start
+    // (the frame); accepts happen at the merge below, so candidate
+    // scoring reads the frame concurrently without synchronization and
+    // results are identical in sync and async mode (DESIGN.md §12).
+    SearchStepPipeline pipeline(pipeline_config, &space, &eval_service);
     for (size_t group = 0; group < space.num_groups(); ++group) {
       for (size_t step = 0; step < options_.steps_per_agent; ++step) {
+        StepTask task;
+        task.group = group;
+        task.accept_group = group;
         Stopwatch gen_watch;
         const FeatureSpace::Action action =
             space.SampleRandomAction(group, &rng);
         auto candidate = space.GenerateCandidate(action);
         result.generation_seconds += gen_watch.ElapsedSeconds();
-        if (!candidate.ok()) continue;  // Duplicate/over-order/constant.
-        ++result.features_generated;
-
-        eval_watch.Restart();
-        EAFE_ASSIGN_OR_RETURN(
-            double gain, eval_service.EvaluateGain(space, *candidate,
-                                                   result.best_score));
-        result.evaluation_seconds += eval_watch.ElapsedSeconds();
-        ++result.features_evaluated;
-        if (gain > options_.accept_margin) {
-          if (space.Accept(group, std::move(candidate).ValueOrDie()).ok()) {
-            result.best_score += gain;
-            ++result.features_kept;
-          }
+        StepAttempt attempt;
+        if (candidate.ok()) {  // Duplicate/over-order/constant otherwise.
+          ++result.features_generated;
+          attempt.generated = true;
+          attempt.candidate = std::move(candidate).ValueOrDie();
         }
+        task.attempts.push_back(std::move(attempt));
+        pipeline.Submit(std::move(task));
       }
     }
+    EAFE_ASSIGN_OR_RETURN(auto tasks, pipeline.Finish());
+
+    // Merge in submission order: gains against the running best, greedy
+    // accepts into the live space.
+    for (StepTask& task : tasks) {
+      if (!task.evaluated) continue;
+      result.evaluation_seconds += task.eval_seconds;
+      ++result.features_evaluated;
+      const double gain = task.score - result.best_score;
+      SpaceFeature& candidate =
+          task.attempts[static_cast<size_t>(task.chosen)].candidate;
+      if (gain > options_.accept_margin &&
+          !space.Contains(task.accept_group, candidate.column.name()) &&
+          space.Accept(task.accept_group, std::move(candidate)).ok()) {
+        result.best_score += gain;
+        ++result.features_kept;
+      }
+    }
+
     EpochStats stats;
     stats.epoch = epoch;
     stats.best_score = result.best_score;

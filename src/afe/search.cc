@@ -5,6 +5,13 @@
 
 namespace eafe::afe {
 
+Result<PipelineMode> PipelineModeFromString(const std::string& text) {
+  if (text == "sync") return PipelineMode::kSync;
+  if (text == "async") return PipelineMode::kAsync;
+  return Status::InvalidArgument("unknown pipeline mode '" + text +
+                                 "' (expected sync or async)");
+}
+
 std::vector<double> BuildAgentState(int last_action, double last_reward,
                                     size_t group_size, double progress) {
   std::vector<double> state(kAgentStateDim, 0.0);

@@ -11,6 +11,18 @@
 
 namespace eafe::afe {
 
+/// How the per-epoch generate → filter → evaluate loop executes (see
+/// DESIGN.md §12). Both modes run the same epoch-frame semantics —
+/// candidates are generated against the feature space frozen at epoch
+/// start and merged in sequence order at the epoch barrier — so their
+/// results are bit-identical at any --threads; sync is the oracle the
+/// equivalence tests compare against.
+enum class PipelineMode {
+  kSync,   ///< Stages run inline on the calling thread.
+  kAsync,  ///< Stages overlap on the global pool (falls back to inline
+           ///< when the pool is absent or too small).
+};
+
 /// Common knobs for every AFE search method, so comparisons run under the
 /// same generation and evaluation budget.
 struct SearchOptions {
@@ -50,6 +62,11 @@ struct SearchOptions {
   /// for a fair comparison between methods with different evaluation
   /// budgets.
   bool honest_final_score = true;
+  /// Execution mode of the per-epoch candidate pipeline.
+  PipelineMode pipeline = PipelineMode::kAsync;
+  /// Bound of each pipeline stage's input queue; producers block when
+  /// the queue is full (backpressure).
+  size_t pipeline_queue_capacity = 8;
 };
 
 /// Score/efficiency snapshot at the end of one epoch, for learning curves
@@ -85,6 +102,10 @@ struct SearchResult {
   size_t eval_cache_hits = 0;
   size_t features_kept = 0;
   double generation_seconds = 0.0;
+  /// Cumulative per-candidate evaluation time summed across pipeline
+  /// workers. Under --pipeline=async evaluations overlap, so this can
+  /// exceed total_seconds — compare it across runs as compute spent,
+  /// not as a share of the wall clock.
   double evaluation_seconds = 0.0;
   double total_seconds = 0.0;
 };
@@ -97,6 +118,9 @@ class FeatureSearch {
   /// Runs the full search on a target dataset.
   virtual Result<SearchResult> Run(const data::Dataset& dataset) = 0;
 };
+
+/// Parses "sync" | "async" (the CLI/bench --pipeline flag).
+Result<PipelineMode> PipelineModeFromString(const std::string& text);
 
 /// Builds the agent's state vector s_t: one-hot of the previous action
 /// (kNumOperators entries; all zero on the first round), followed by

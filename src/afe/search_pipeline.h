@@ -1,0 +1,134 @@
+#ifndef EAFE_AFE_SEARCH_PIPELINE_H_
+#define EAFE_AFE_SEARCH_PIPELINE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "afe/eval_service.h"
+#include "afe/feature_space.h"
+#include "afe/search.h"
+#include "core/status.h"
+#include "fpe/fpe_model.h"
+#include "runtime/pipeline.h"
+
+namespace eafe::afe {
+
+/// The per-epoch candidate pipeline shared by every search driver
+/// (DESIGN.md §12). Each epoch the driver freezes the feature space (the
+/// "frame"), generates one StepTask per (group, step) on the calling
+/// thread — all result-affecting randomness is pre-drawn there — and
+/// submits it. The filter stage (MinHash/FPE probability or a pre-drawn
+/// random-drop verdict) picks the first passing attempt; the eval stage
+/// scores frame+candidate on the downstream task. Finish() returns the
+/// tasks in submission order, and the driver merges them — rewards,
+/// greedy accepts, agent updates — at the epoch barrier. Both stages
+/// are pure functions of (frame, task), which is what makes
+/// --pipeline=async bit-identical to sync at any --threads.
+
+/// One generation attempt within a step. Drivers that retry generation
+/// (E-AFE with max_generation_attempts > 1) pre-draw every attempt; the
+/// filter stage scans them in order and keeps the first that passes.
+struct StepAttempt {
+  /// Operator index the agent sampled (recorded for REINFORCE).
+  size_t action_index = 0;
+  /// Whether GenerateCandidate succeeded (duplicates, over-order and
+  /// constant columns fail at generation time and never reach the
+  /// filter).
+  bool generated = false;
+  SpaceFeature candidate;
+  /// Pre-drawn pass verdict for the E-AFE_D random-drop filter (drawn
+  /// in the generation stage so the RNG stream is independent of
+  /// scheduling).
+  bool forced_verdict = false;
+};
+
+/// One (group, step) unit of work flowing through the pipeline.
+struct StepTask {
+  /// Episode group — which agent's action/reward record this step
+  /// belongs to.
+  size_t group = 0;
+  /// Group a kept candidate is accepted into (differs from `group` for
+  /// replayed stage-1 features).
+  size_t accept_group = 0;
+  std::vector<StepAttempt> attempts;
+  /// Replayed stage-1 feature: skip the filter (stage 1 already
+  /// screened it) and evaluate directly.
+  bool pre_vetted = false;
+  /// True when there is no work at all (e.g. a replayed feature already
+  /// present in the frame).
+  bool skipped = false;
+
+  // Filter-stage outputs.
+  /// Index of the first attempt that passed the filter; -1 when none
+  /// did (or nothing was generated).
+  int chosen = -1;
+
+  // Eval-stage outputs.
+  bool evaluated = false;
+  /// Absolute downstream score of frame + chosen candidate. The driver
+  /// turns it into a gain against the running best at merge time.
+  double score = 0.0;
+  /// Wall time this evaluation took on its worker (summed into
+  /// SearchResult::evaluation_seconds — cumulative compute, not wall
+  /// clock).
+  double eval_seconds = 0.0;
+  /// First error hit by a stage; later stages pass failed tasks
+  /// through untouched and the driver surfaces the first failure in
+  /// sequence order.
+  Status status;
+};
+
+/// Which pre-evaluation filter the filter stage applies.
+enum class StepFilter {
+  kNone,        ///< Every generated candidate goes to evaluation.
+  kFpe,         ///< FPE probability >= threshold (E-AFE / E-AFE_R).
+  kRandomDrop,  ///< Pre-drawn Bernoulli verdict (E-AFE_D ablation).
+};
+
+struct StepPipelineConfig {
+  PipelineMode mode = PipelineMode::kAsync;
+  /// Bound of each stage's input queue (backpressure depth).
+  size_t queue_capacity = 8;
+  StepFilter filter = StepFilter::kNone;
+  /// Required (trained) when filter == kFpe; not owned.
+  const fpe::FpeModel* fpe_model = nullptr;
+  double fpe_accept_threshold = 0.55;
+};
+
+/// One epoch's worth of pipeline: construct against the frozen frame,
+/// Submit() every StepTask in (group, step) order, then Finish() to
+/// close, drain, and get the tasks back in submission order. In async
+/// mode the stages run on the global pool (one filter worker, the rest
+/// evaluators) with bounded-queue backpressure; otherwise Submit runs
+/// both stages inline. The frame and eval service must outlive the
+/// pipeline, and the driver must not mutate the frame or schedule other
+/// pool work until Finish() returns.
+class SearchStepPipeline {
+ public:
+  SearchStepPipeline(const StepPipelineConfig& config,
+                     const FeatureSpace* frame, EvalService* eval_service);
+  ~SearchStepPipeline();
+
+  SearchStepPipeline(const SearchStepPipeline&) = delete;
+  SearchStepPipeline& operator=(const SearchStepPipeline&) = delete;
+
+  /// True when stages overlap on the pool (reporting only; results are
+  /// identical either way).
+  bool async() const;
+
+  /// Blocks when the filter stage's queue is full.
+  void Submit(StepTask task);
+
+  /// Closes the intake, drains the stages, and returns every submitted
+  /// task in submission order. Call exactly once.
+  Result<std::vector<StepTask>> Finish();
+
+ private:
+  std::unique_ptr<runtime::Pipeline<StepTask>> pipeline_;
+  size_t submitted_ = 0;
+};
+
+}  // namespace eafe::afe
+
+#endif  // EAFE_AFE_SEARCH_PIPELINE_H_

@@ -35,18 +35,23 @@ class VoidHistogram final : public MetricHistogram {
 
 class VoidGateway final : public MetricGateway {
  public:
+  // The shared no-op instruments are intentionally immortal (leaked,
+  // like VoidMetrics() itself): pool workers touch them *after* their
+  // task's future becomes ready, so a worker epilogue can race process
+  // exit — a destroyed instrument there is a virtual call on a
+  // half-destructed object ("pure virtual method called" aborts).
   MetricCounter* Counter(const std::string&, const std::string&) override {
-    static VoidCounter counter;
-    return &counter;
+    static VoidCounter* counter = new VoidCounter();
+    return counter;
   }
   MetricGauge* Gauge(const std::string&, const std::string&) override {
-    static VoidGauge gauge;
-    return &gauge;
+    static VoidGauge* gauge = new VoidGauge();
+    return gauge;
   }
   MetricHistogram* Histogram(const std::string&, const std::string&,
                              std::vector<double>) override {
-    static VoidHistogram histogram;
-    return &histogram;
+    static VoidHistogram* histogram = new VoidHistogram();
+    return histogram;
   }
   std::string TextExposition() const override { return ""; }
 };

@@ -1,0 +1,145 @@
+#include "runtime/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "runtime/metrics.h"
+#include "runtime/thread_pool.h"
+
+namespace eafe::runtime {
+namespace {
+
+BoundedQueue<int>::Options QueueOptions(size_t capacity) {
+  BoundedQueue<int>::Options options;
+  options.capacity = capacity;
+  return options;
+}
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> queue(QueueOptions(4));
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  EXPECT_TRUE(queue.Push(3));
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_EQ(queue.Pop().value(), 3);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueueTest, TryPushRefusesWhenFull) {
+  BoundedQueue<int> queue(QueueOptions(2));
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // At capacity.
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_TRUE(queue.TryPush(3));  // Space freed.
+}
+
+TEST(BoundedQueueTest, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> queue(QueueOptions(0));
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.TryPush(7));
+  EXPECT_FALSE(queue.TryPush(8));
+}
+
+TEST(BoundedQueueTest, CloseDrainsBacklogThenEnds) {
+  BoundedQueue<int> queue(QueueOptions(4));
+  EXPECT_TRUE(queue.Push(10));
+  EXPECT_TRUE(queue.Push(11));
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.Push(12));     // Closed: push refused...
+  EXPECT_EQ(queue.Pop().value(), 10);  // ...but the backlog drains.
+  EXPECT_EQ(queue.Pop().value(), 11);
+  EXPECT_FALSE(queue.Pop().has_value());  // Closed and drained.
+  EXPECT_FALSE(queue.Pop().has_value());  // Stays ended.
+}
+
+TEST(BoundedQueueTest, PushBlocksOnFullUntilConsumerFreesSpace) {
+  BoundedQueue<int> queue(QueueOptions(1));
+  ASSERT_TRUE(queue.Push(0));  // Fill.
+  ThreadPool pool(1);
+  std::atomic<bool> producer_done{false};
+  std::future<void> producer = pool.Submit([&] {
+    EXPECT_TRUE(queue.Push(1));  // Blocks until the pop below.
+    producer_done.store(true);
+  });
+  // Give the producer ample time to reach the blocking push: it must
+  // still be stuck because nothing has been popped.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(producer_done.load());
+  EXPECT_EQ(queue.Pop().value(), 0);  // Frees one slot.
+  EXPECT_EQ(queue.Pop().value(), 1);  // Blocks until the producer lands it.
+  producer.wait();
+  EXPECT_TRUE(producer_done.load());
+}
+
+TEST(BoundedQueueTest, CloseUnblocksStalledProducer) {
+  BoundedQueue<int> queue(QueueOptions(1));
+  ASSERT_TRUE(queue.Push(0));
+  ThreadPool pool(1);
+  std::atomic<int> push_result{-1};
+  std::future<void> producer = pool.Submit(
+      [&] { push_result.store(queue.Push(1) ? 1 : 0); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  producer.wait();
+  EXPECT_EQ(push_result.load(), 0);  // Refused, item dropped.
+  EXPECT_EQ(queue.Pop().value(), 0);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, ManyItemsThroughTinyQueue) {
+  // Backpressure liveness: a 2-slot queue must still move every item,
+  // in order, with producer and consumer running concurrently.
+  BoundedQueue<int> queue(QueueOptions(2));
+  constexpr int kItems = 500;
+  ThreadPool pool(1);
+  std::future<void> producer = pool.Submit([&] {
+    for (int i = 0; i < kItems; ++i) EXPECT_TRUE(queue.Push(i));
+    queue.Close();
+  });
+  std::vector<int> received;
+  while (auto item = queue.Pop()) received.push_back(*item);
+  producer.wait();
+  ASSERT_EQ(received.size(), static_cast<size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[static_cast<size_t>(i)], i);
+}
+
+TEST(BoundedQueueTest, PublishesDepthGaugeAndStallHistograms) {
+  TextMetricGateway gateway;
+  BoundedQueue<int>::Options options;
+  options.capacity = 2;
+  options.metric_prefix = "test_stage";
+  options.metrics = &gateway;
+  BoundedQueue<int> queue(options);
+
+  MetricGauge* depth = gateway.Gauge("test_stage_queue_depth", "");
+  EXPECT_EQ(depth->Value(), 0.0);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_EQ(depth->Value(), 1.0);
+  EXPECT_TRUE(queue.Push(2));
+  EXPECT_EQ(depth->Value(), 2.0);
+  (void)queue.Pop();
+  EXPECT_EQ(depth->Value(), 1.0);
+  (void)queue.Pop();
+  EXPECT_EQ(depth->Value(), 0.0);
+
+  // The stall histograms are registered (zero observations so far — no
+  // producer or consumer ever waited).
+  MetricHistogram* push_stall =
+      gateway.Histogram("test_stage_queue_push_stall_seconds", "", {});
+  MetricHistogram* pop_stall =
+      gateway.Histogram("test_stage_queue_pop_stall_seconds", "", {});
+  EXPECT_EQ(push_stall->Count(), 0u);
+  EXPECT_EQ(pop_stall->Count(), 0u);
+}
+
+}  // namespace
+}  // namespace eafe::runtime

@@ -277,6 +277,32 @@ TEST(TestLabelsTest, TsanLabeledConcurrencyTestIsClean) {
       CheckTestLabels(ParseTestRegistrations(cmake), FakeSource).empty());
 }
 
+TEST(TestLabelsTest, PipelineTypesRequireTsan) {
+  // The pipelined-search surface counts as concurrency: sources naming
+  // BoundedQueue / Pipeline / SearchStepPipeline need the tsan label.
+  const std::string cmake =
+      "eafe_add_test(q LABELS runtime SOURCES runtime/queue_test.cc)";
+  const auto source = [](const std::string&) -> std::optional<std::string> {
+    return "runtime::BoundedQueue<int> queue(options);";
+  };
+  const std::vector<Finding> findings =
+      CheckTestLabels(ParseTestRegistrations(cmake), source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("BoundedQueue"), std::string::npos);
+
+  // Exact identifier matching: a source that only names PipelineTest or
+  // PipelineMode (e.g. toggling SearchOptions::pipeline) is not on the
+  // concurrency surface and stays clean without the label.
+  const auto benign = [](const std::string&) -> std::optional<std::string> {
+    return "TEST(PipelineTest, X) { options.pipeline = PipelineMode::kSync; }";
+  };
+  EXPECT_TRUE(
+      CheckTestLabels(ParseTestRegistrations(
+                          "eafe_add_test(p LABELS afe SOURCES afe/p_test.cc)"),
+                      benign)
+          .empty());
+}
+
 constexpr char kEvaluatorHeader[] = R"cc(
 struct EvaluatorOptions {
   ModelKind model = ModelKind::kRandomForest;

@@ -9,8 +9,10 @@
 // ("bench" or "task") and at least one timing key ("seconds",
 // "fit_seconds" or "wall_seconds"). BENCH_serve.json lines must
 // additionally carry "qps", "p50_ms" and "p99_ms" — the keys the
-// roadmap's serving story is tracked by. The parser is deliberately
-// in-tree and dependency-free, like everything else here.
+// roadmap's serving story is tracked by — and BENCH_pipeline.json lines
+// must carry "sync_seconds", "async_seconds" and "speedup", the keys
+// the pipelined-search scalability gate compares. The parser is
+// deliberately in-tree and dependency-free, like everything else here.
 //
 // Runs inside the lint suite (ctest label `lint`) and again in the
 // serve suite after eafe_loadgen appends a fresh line.
@@ -180,6 +182,16 @@ int CheckFile(const std::string& path) {
       for (const char* required : {"qps", "p50_ms", "p99_ms"}) {
         if (keys.count(required) == 0) {
           std::fprintf(stderr, "%s:%d: serve line misses \"%s\"\n",
+                       path.c_str(), line_number, required);
+          ++problems;
+        }
+      }
+    }
+    if (base == "BENCH_pipeline.json") {
+      for (const char* required :
+           {"sync_seconds", "async_seconds", "speedup"}) {
+        if (keys.count(required) == 0) {
+          std::fprintf(stderr, "%s:%d: pipeline line misses \"%s\"\n",
                        path.c_str(), line_number, required);
           ++problems;
         }

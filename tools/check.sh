@@ -7,9 +7,13 @@
 #            --smoke (tree, shared-binner forest, gbdt booster, and
 #            model-store round-trip serving gates), the SIMD dispatch
 #            smokes (micro_hashing/micro_tree --simd-smoke: AVX2 tiers
-#            bit-identical + speed floor vs scalar), and a forced
+#            bit-identical + speed floor vs scalar), a forced
 #            EAFE_SIMD=scalar rerun of the simd-labeled ctest suite to
-#            prove the fallback tier stays green
+#            prove the fallback tier stays green, and the pipelined-search
+#            smoke (fig9_scalability --pipeline-smoke: sync and async
+#            executors bit-identical on an n>=10k point, wall clock
+#            compared on multi-core machines, BENCH_pipeline.json line
+#            schema-checked)
 #   asan     full ctest under AddressSanitizer in build-asan/
 #   ubsan    full ctest under UndefinedBehaviorSanitizer in build-ubsan/
 #   tsan     every test labeled `tsan` under ThreadSanitizer in build-tsan/
@@ -68,8 +72,10 @@ label_args() {
 # executable targets eafe_add_test registers, so the list also drives
 # which targets to build.
 labeled_tests() {
+  # ctest right-aligns test numbers ("Test  #4:" vs "Test #14:"), so the
+  # whitespace between "Test" and "#" varies with the number width.
   ctest --test-dir "$1" -N -L "^$2$" 2>/dev/null |
-    sed -n 's/^ *Test #[0-9]*: //p'
+    sed -n 's/^ *Test *#[0-9]*: //p'
 }
 
 run_lint() {
@@ -104,7 +110,8 @@ run_release() {
   cmake -B "${root}/build-release" -S "${root}" \
     -DCMAKE_BUILD_TYPE=Release -DEAFE_WERROR=ON >/dev/null
   cmake --build "${root}/build-release" -j "${jobs}" \
-    --target micro_tree micro_hashing eafe_simd_test
+    --target micro_tree micro_hashing eafe_simd_test fig9_scalability \
+             bench_schema_check
   "${root}/build-release/bench/micro_tree" --smoke
   # SIMD dispatch smokes: every forced-AVX2 kernel must return the same
   # bits as the scalar tier (signatures, class counts, walks; gradient
@@ -117,6 +124,15 @@ run_release() {
   # must stay green with every specialized tier disabled.
   EAFE_SIMD=scalar ctest --test-dir "${root}/build-release" \
     --output-on-failure --timeout 600 -L '^simd$'
+  # Pipelined-search smoke: sync and async executors must be bit-identical
+  # on a 10k-sample search; on >=4-core machines async must also not lose
+  # wall clock. The fresh BENCH_pipeline.json line must pass the schema
+  # gate (sync_seconds/async_seconds/speedup keys).
+  rm -f "${root}/BENCH_pipeline.json"
+  "${root}/build-release/bench/fig9_scalability" --pipeline-smoke \
+    --threads 4 --out "${root}/BENCH_pipeline.json"
+  "${root}/build-release/tools/bench_schema_check" \
+    "${root}/BENCH_pipeline.json"
 }
 
 run_asan() {

@@ -512,7 +512,8 @@ std::vector<Finding> CheckTestLabels(
     const std::function<std::optional<std::string>(const std::string&)>&
         read_source) {
   static const std::vector<std::string> kConcurrencyTokens = {
-      "ParallelFor", "ThreadPool", "EvalService"};
+      "ParallelFor",  "ThreadPool", "EvalService",
+      "BoundedQueue", "Pipeline",   "SearchStepPipeline"};
   std::vector<Finding> findings;
   for (const TestRegistration& test : tests) {
     if (test.labels.empty()) {
