@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Repository check, suite by suite — the same entry points CI calls:
 #
-#   lint     eafe_lint invariant checker + clang-tidy (when installed) in build/
+#   lint     eafe_lint invariant checker (token rules + include-graph
+#            layering against tools/lint/layers.spec), the header
+#            self-containment target (every src/**/*.h compiled
+#            standalone under -Werror), and clang-tidy as a gated ctest
+#            (self-skips when not installed) in build/
 #   debug    build + full ctest (all labels) in build/
 #   release  Release build + perf smokes in build-release/: micro_tree
 #            --smoke (tree, shared-binner forest, gbdt booster, and
@@ -79,17 +83,20 @@ labeled_tests() {
 }
 
 run_lint() {
-  echo "== lint: eafe_lint invariants + clang-tidy (${root}/build) =="
+  echo "== lint: eafe_lint + header self-containment + clang-tidy (${root}/build) =="
   cmake -B "${root}/build" -S "${root}" -DEAFE_WERROR=ON >/dev/null
+  # eafe_header_check is the self-containment gate: one generated TU per
+  # src/**/*.h, compiled under the -Werror wall — a header that leans on
+  # its includer's includes fails right here.
   cmake --build "${root}/build" -j "${jobs}" \
-    --target eafe_lint eafe_lint_test
-  ctest --test-dir "${root}/build" --output-on-failure --timeout 600 \
+    --target eafe_lint eafe_lint_test bench_schema_check eafe_header_check
+  # Direct run first for readable output; --format=github makes findings
+  # annotate PR diffs inline when running inside GitHub Actions.
+  lint_format="plain"
+  [[ -n "${GITHUB_ACTIONS:-}" ]] && lint_format="github"
+  "${root}/build/tools/eafe_lint" --root "${root}" --format="${lint_format}"
+  ctest --test-dir "${root}/build" --output-on-failure --timeout 1800 \
     -L '^lint$'
-  if command -v clang-tidy >/dev/null 2>&1; then
-    "${root}/tools/run_clang_tidy.sh" "${root}/build"
-  else
-    echo "clang-tidy not installed — tidy pass skipped (CI runs it)"
-  fi
 }
 
 run_debug() {

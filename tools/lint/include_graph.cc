@@ -1,0 +1,456 @@
+#include "tools/lint/include_graph.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+
+namespace eafe::lint {
+namespace {
+
+bool IsSpace(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && IsSpace(text[begin])) ++begin;
+  while (end > begin && IsSpace(text[end - 1])) --end;
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace
+
+std::vector<IncludeEdge> ParseIncludes(const std::string& path,
+                                       const std::string& source) {
+  // Comments go first so `// #include "x.h"` is not an edge; string
+  // bodies must survive because the include target *is* one.
+  const std::string text = StripComments(source);
+  std::vector<IncludeEdge> edges;
+  size_t line = 1;
+  size_t line_start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i < text.size() && text[i] != '\n') continue;
+    const std::string row = text.substr(line_start, i - line_start);
+    line_start = i + 1;
+    const size_t current_line = line++;
+    size_t pos = 0;
+    while (pos < row.size() && IsSpace(row[pos])) ++pos;
+    if (pos >= row.size() || row[pos] != '#') continue;
+    ++pos;
+    while (pos < row.size() && IsSpace(row[pos])) ++pos;
+    if (row.compare(pos, 7, "include") != 0) continue;
+    pos += 7;
+    while (pos < row.size() && IsSpace(row[pos])) ++pos;
+    if (pos >= row.size() || row[pos] != '"') continue;  // <...> is external
+    const size_t close = row.find('"', pos + 1);
+    if (close == std::string::npos) continue;
+    IncludeEdge edge;
+    edge.from = path;
+    edge.line = current_line;
+    edge.target = row.substr(pos + 1, close - pos - 1);
+    edges.push_back(std::move(edge));
+  }
+  return edges;
+}
+
+IncludeGraph BuildIncludeGraph(
+    const std::map<std::string, std::string>& files) {
+  IncludeGraph graph;
+  graph.files.reserve(files.size());
+  for (const auto& [path, source] : files) {
+    (void)source;
+    graph.files.push_back(path);
+  }
+  // std::map iteration is already sorted; keep the invariant explicit.
+  std::sort(graph.files.begin(), graph.files.end());
+  for (const std::string& path : graph.files) {
+    std::vector<IncludeEdge> edges = ParseIncludes(path, files.at(path));
+    for (IncludeEdge& edge : edges) {
+      // Project include roots, in lookup order: src/ (the global
+      // `-Isrc` every target gets), then the repo root (tools/, tests/,
+      // bench/ includes spell their full repo path).
+      const std::string in_src = "src/" + edge.target;
+      if (files.count(in_src) > 0) {
+        edge.to = in_src;
+      } else if (files.count(edge.target) > 0) {
+        edge.to = edge.target;
+      }
+      graph.edges.push_back(std::move(edge));
+    }
+  }
+  return graph;
+}
+
+std::vector<std::vector<std::string>> FindIncludeCycles(
+    const IncludeGraph& graph) {
+  // Tarjan over the internal edges. Index maps keep it O(V + E).
+  std::unordered_map<std::string, size_t> id;
+  for (size_t i = 0; i < graph.files.size(); ++i) id[graph.files[i]] = i;
+  const size_t n = graph.files.size();
+  std::vector<std::vector<size_t>> adjacent(n);
+  std::vector<bool> self_loop(n, false);
+  for (const IncludeEdge& edge : graph.edges) {
+    if (edge.to.empty()) continue;
+    const auto from = id.find(edge.from);
+    const auto to = id.find(edge.to);
+    if (from == id.end() || to == id.end()) continue;
+    if (from->second == to->second) {
+      self_loop[from->second] = true;
+    } else {
+      adjacent[from->second].push_back(to->second);
+    }
+  }
+
+  constexpr size_t kUnvisited = static_cast<size_t>(-1);
+  std::vector<size_t> index(n, kUnvisited);
+  std::vector<size_t> low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  size_t next_index = 0;
+  std::vector<std::vector<std::string>> cycles;
+
+  // Iterative Tarjan (explicit frames) so a pathological include chain
+  // cannot overflow the call stack.
+  struct Frame {
+    size_t node;
+    size_t edge = 0;
+  };
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    std::vector<Frame> frames{{root}};
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const size_t v = frame.node;
+      if (frame.edge < adjacent[v].size()) {
+        const size_t w = adjacent[v][frame.edge++];
+        if (index[w] == kUnvisited) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+        continue;
+      }
+      if (low[v] == index[v]) {
+        std::vector<std::string> component;
+        while (true) {
+          const size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          component.push_back(graph.files[w]);
+          if (w == v) break;
+        }
+        if (component.size() > 1 || self_loop[v]) {
+          std::sort(component.begin(), component.end());
+          cycles.push_back(std::move(component));
+        }
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const size_t parent = frames.back().node;
+        low[parent] = std::min(low[parent], low[v]);
+      }
+    }
+  }
+  std::sort(cycles.begin(), cycles.end());
+  return cycles;
+}
+
+std::vector<Finding> CheckIncludeCycles(const IncludeGraph& graph) {
+  std::vector<Finding> findings;
+  for (const std::vector<std::string>& cycle : FindIncludeCycles(graph)) {
+    // Walk one concrete loop from the first member so the message shows
+    // an actual path, not just the member set.
+    std::set<std::string> members(cycle.begin(), cycle.end());
+    std::vector<std::string> path{cycle.front()};
+    size_t anchor_line = 0;
+    std::set<std::string> seen{cycle.front()};
+    while (true) {
+      const IncludeEdge* next = nullptr;
+      for (const IncludeEdge& edge : graph.edges) {
+        if (edge.from != path.back() || edge.to.empty()) continue;
+        if (members.count(edge.to) == 0) continue;
+        // Prefer closing the loop; otherwise take the first unvisited
+        // member (edges are in deterministic file/line order).
+        if (edge.to == cycle.front() &&
+            (path.size() > 1 || edge.from == edge.to)) {
+          next = &edge;
+          break;
+        }
+        if (next == nullptr && seen.count(edge.to) == 0) next = &edge;
+      }
+      if (next == nullptr) break;  // defensive; an SCC always closes
+      if (path.size() == 1) anchor_line = next->line;
+      path.push_back(next->to);
+      if (next->to == cycle.front()) break;
+      seen.insert(next->to);
+    }
+    std::ostringstream loop;
+    for (size_t i = 0; i < path.size(); ++i) {
+      if (i > 0) loop << " -> ";
+      loop << path[i];
+    }
+    Finding finding;
+    finding.file = cycle.front();
+    finding.line = anchor_line;
+    finding.rule = kRuleIncludeCycle;
+    finding.message =
+        "include cycle (" + std::to_string(cycle.size()) +
+        " file(s)): " + loop.str() +
+        ". Cyclic headers have no topological build order and rot into "
+        "order-dependence; break the cycle with a forward declaration or "
+        "by moving the shared piece down a layer.";
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+std::optional<LayerSpec> ParseLayerSpec(const std::string& text,
+                                        std::string* error) {
+  LayerSpec spec;
+  std::istringstream lines(text);
+  std::string raw;
+  size_t line = 0;
+  while (std::getline(lines, raw)) {
+    ++line;
+    const size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw = raw.substr(0, hash);
+    const std::string row = Trim(raw);
+    if (row.empty()) continue;
+    const size_t colon = row.find(':');
+    if (colon == std::string::npos) {
+      if (error != nullptr) {
+        *error = "layers.spec:" + std::to_string(line) +
+                 ": expected '<layer>: <deps>', got '" + row + "'";
+      }
+      return std::nullopt;
+    }
+    const std::string layer = Trim(row.substr(0, colon));
+    if (layer.empty()) {
+      if (error != nullptr) {
+        *error = "layers.spec:" + std::to_string(line) + ": empty layer name";
+      }
+      return std::nullopt;
+    }
+    if (spec.allowed.count(layer) > 0) {
+      if (error != nullptr) {
+        *error = "layers.spec:" + std::to_string(line) +
+                 ": duplicate layer '" + layer + "'";
+      }
+      return std::nullopt;
+    }
+    std::set<std::string> deps;
+    std::string list = row.substr(colon + 1);
+    std::replace(list.begin(), list.end(), ',', ' ');
+    std::istringstream parts(list);
+    std::string dep;
+    while (parts >> dep) {
+      // Bottom-up declaration: a dependency must already exist, which
+      // keeps the allowed relation acyclic by construction.
+      if (dep != "*" && spec.allowed.count(dep) == 0) {
+        if (error != nullptr) {
+          *error = "layers.spec:" + std::to_string(line) + ": layer '" +
+                   layer + "' depends on undeclared layer '" + dep +
+                   "' (declare layers bottom-up)";
+        }
+        return std::nullopt;
+      }
+      deps.insert(dep);
+    }
+    spec.order.push_back(layer);
+    spec.allowed[layer] = std::move(deps);
+  }
+  if (spec.order.empty()) {
+    if (error != nullptr) *error = "layers.spec: no layers declared";
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::string LayerOf(const std::string& path) {
+  if (path == "src/eafe.h") return "api";
+  for (const char* top : {"tools/", "tests/", "bench/", "examples/"}) {
+    if (path.rfind(top, 0) == 0) {
+      const std::string prefix(top);
+      return prefix.substr(0, prefix.size() - 1);
+    }
+  }
+  if (path.rfind("src/", 0) == 0) {
+    const size_t slash = path.find('/', 4);
+    if (slash != std::string::npos) return path.substr(4, slash - 4);
+  }
+  return "";
+}
+
+std::vector<Finding> CheckLayering(const IncludeGraph& graph,
+                                   const LayerSpec& spec) {
+  std::vector<Finding> findings;
+  for (const IncludeEdge& edge : graph.edges) {
+    if (edge.to.empty()) continue;  // system/external include
+    const std::string from_layer = LayerOf(edge.from);
+    const std::string to_layer = LayerOf(edge.to);
+    Finding finding;
+    finding.file = edge.from;
+    finding.line = edge.line;
+    finding.rule = kRuleLayering;
+    if (from_layer.empty() || to_layer.empty()) {
+      const std::string& odd = from_layer.empty() ? edge.from : edge.to;
+      finding.message =
+          "'" + odd +
+          "' maps to no known layer; extend LayerOf() and "
+          "tools/lint/layers.spec (and the docs/ARCHITECTURE.md layer "
+          "diagram) when adding a top-level directory.";
+      findings.push_back(std::move(finding));
+      continue;
+    }
+    if (from_layer == to_layer) continue;
+    const auto allowed = spec.allowed.find(from_layer);
+    if (allowed == spec.allowed.end()) {
+      finding.message = "layer '" + from_layer +
+                        "' is not declared in tools/lint/layers.spec; "
+                        "declare it (bottom-up) with its allowed "
+                        "dependencies.";
+      findings.push_back(std::move(finding));
+      continue;
+    }
+    if (allowed->second.count("*") > 0 ||
+        allowed->second.count(to_layer) > 0) {
+      continue;
+    }
+    std::ostringstream deps;
+    for (const std::string& dep : allowed->second) {
+      if (deps.tellp() > 0) deps << ", ";
+      deps << dep;
+    }
+    finding.message =
+        "includes \"" + edge.target + "\" (layer '" + to_layer +
+        "'), but layer '" + from_layer + "' may only include {" +
+        deps.str() +
+        "} per tools/lint/layers.spec — docs/ARCHITECTURE.md is the "
+        "normative layer map. Move the code, or change the spec *and* "
+        "the architecture doc in the same commit.";
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckLayerSpecMatchesArchitectureDoc(
+    const LayerSpec& spec, const std::string& architecture_md) {
+  std::vector<Finding> findings;
+  const auto repo_finding = [&findings](const std::string& message) {
+    Finding finding;
+    finding.file = "docs/ARCHITECTURE.md";
+    finding.rule = kRuleLayering;
+    finding.message = message;
+    findings.push_back(std::move(finding));
+  };
+
+  // The diagram is the first fenced block after "## Layers": band rows
+  // of "<name>/" tokens separated by ─── rules, top band first.
+  const size_t heading = architecture_md.find("## Layers");
+  const size_t fence = heading == std::string::npos
+                           ? std::string::npos
+                           : architecture_md.find("```", heading);
+  const size_t fence_end = fence == std::string::npos
+                               ? std::string::npos
+                               : architecture_md.find("```", fence + 3);
+  if (fence_end == std::string::npos) {
+    repo_finding(
+        "could not find the fenced layer diagram under '## Layers'; the "
+        "layering cross-check needs it (it is the normative layer map).");
+    return findings;
+  }
+  const std::string block =
+      architecture_md.substr(fence + 3, fence_end - fence - 3);
+
+  std::map<std::string, size_t> band;  // layer -> band index, top = 0
+  size_t current = 0;
+  std::istringstream lines(block);
+  std::string row;
+  bool band_has_layers = false;
+  while (std::getline(lines, row)) {
+    if (row.find("───") != std::string::npos) {
+      if (band_has_layers) {
+        ++current;
+        band_has_layers = false;
+      }
+      continue;
+    }
+    for (size_t i = 0; i + 1 < row.size(); ++i) {
+      if (row[i + 1] != '/') continue;
+      // A layer token is "<name>/" followed by whitespace (or line end):
+      // "afe/" counts, prose like "table/figure" does not.
+      if (i + 2 < row.size() && !IsSpace(row[i + 2])) continue;
+      size_t begin = i + 1;
+      while (begin > 0 && (std::isalnum(static_cast<unsigned char>(
+                               row[begin - 1])) != 0 ||
+                           row[begin - 1] == '_')) {
+        --begin;
+      }
+      if (begin == i + 1) continue;
+      const std::string name = row.substr(begin, i + 1 - begin);
+      if (band.count(name) == 0) {
+        band[name] = current;
+        band_has_layers = true;
+      }
+    }
+  }
+  if (band.empty()) {
+    repo_finding(
+        "the '## Layers' diagram names no '<layer>/' tokens; the layering "
+        "cross-check cannot anchor the spec to the doc.");
+    return findings;
+  }
+
+  for (const std::string& layer : spec.order) {
+    if (band.count(layer) == 0) {
+      repo_finding("layer '" + layer +
+                   "' is declared in tools/lint/layers.spec but missing "
+                   "from the docs/ARCHITECTURE.md layer diagram; the doc "
+                   "is normative — add the layer to its band there.");
+    }
+  }
+  for (const auto& [layer, layer_band] : band) {
+    (void)layer_band;
+    if (spec.allowed.count(layer) == 0) {
+      repo_finding("layer '" + layer +
+                   "' appears in the docs/ARCHITECTURE.md diagram but is "
+                   "not declared in tools/lint/layers.spec; declare it so "
+                   "the layering rule covers it.");
+    }
+  }
+
+  // "Dependencies point strictly downward": the spec must never allow an
+  // include into a *higher* band (same band is fine — bands group
+  // peers, e.g. runtime and simd).
+  for (const std::string& layer : spec.order) {
+    const auto from_band = band.find(layer);
+    if (from_band == band.end()) continue;
+    for (const std::string& dep : spec.allowed.at(layer)) {
+      if (dep == "*") continue;
+      const auto to_band = band.find(dep);
+      if (to_band == band.end()) continue;
+      // Top band is 0, so an upward dependency has a smaller band index.
+      if (to_band->second < from_band->second) {
+        repo_finding(
+            "tools/lint/layers.spec allows '" + layer + "' -> '" + dep +
+            "', but '" + dep +
+            "' sits in a higher band of the docs/ARCHITECTURE.md "
+            "diagram — dependencies must point strictly downward. Fix "
+            "the spec or restructure the doc's bands.");
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace eafe::lint

@@ -1,0 +1,119 @@
+#ifndef EAFE_TOOLS_LINT_INCLUDE_GRAPH_H_
+#define EAFE_TOOLS_LINT_INCLUDE_GRAPH_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+// Include-graph analysis (DESIGN.md §7): eafe_lint's project-wide pass
+// over every `#include` in src/, tools/, tests/, bench/, and examples/.
+//
+// The repository is a layered system (docs/ARCHITECTURE.md — the
+// normative layer map): core at the bottom, runtime/simd above it, then
+// data/hashing/ml, then afe/fpe/serve, with tools/tests/bench/examples
+// on top. Nothing about a `#include` line enforces that — a stray
+// `#include "serve/wire.h"` from src/ml/ would compile fine today and
+// silently invert the architecture. This engine parses the include
+// graph once and runs two rules over it:
+//
+//   * include-cycle — strongly-connected components of the internal
+//     include DAG must all be singletons (and no header includes
+//     itself). A cycle means no topological build order exists and
+//     header hygiene decays into order-dependence.
+//   * layering — every cross-directory edge must be allowed by the
+//     machine-readable spec in tools/lint/layers.spec, which is itself
+//     cross-checked against the layer diagram in docs/ARCHITECTURE.md
+//     so the spec, the docs, and the tree can never drift apart.
+
+namespace eafe::lint {
+
+// One `#include "..."` directive. System includes (<...>) and quoted
+// includes that do not resolve to a repo file are recorded with an
+// empty `to` so rules can ignore them without re-parsing.
+struct IncludeEdge {
+  std::string from;    // repo-relative path of the including file
+  size_t line = 0;     // 1-based line of the #include directive
+  std::string target;  // include path as written between the quotes
+  std::string to;      // resolved repo-relative path; "" when external
+};
+
+struct IncludeGraph {
+  std::vector<std::string> files;  // sorted repo-relative paths
+  std::vector<IncludeEdge> edges;  // in (file, line) order
+};
+
+// Quoted includes of `source`, with comments stripped first so a
+// commented-out #include does not create an edge. Strings other than
+// the include target survive stripping here (the target itself is a
+// string literal, which is why this runs on StripComments output, not
+// StripCommentsAndStrings).
+std::vector<IncludeEdge> ParseIncludes(const std::string& path,
+                                       const std::string& source);
+
+// Builds the graph over an in-memory file map (repo-relative path ->
+// content) so tests can drive synthetic trees. A target `t` resolves to
+// `src/t` first (the project-wide include root), then `t` relative to
+// the repo root (tools/, tests/, bench/ style includes).
+IncludeGraph BuildIncludeGraph(const std::map<std::string, std::string>& files);
+
+// Strongly-connected components with more than one member, plus
+// self-includes, of the internal edge set. Each cycle lists its member
+// files sorted; cycles themselves are sorted by first member, so output
+// is deterministic.
+std::vector<std::vector<std::string>> FindIncludeCycles(
+    const IncludeGraph& graph);
+
+// One `include-cycle` finding per cycle, anchored at the first member's
+// offending #include.
+std::vector<Finding> CheckIncludeCycles(const IncludeGraph& graph);
+
+// ---------------------------------------------------------------------------
+// Layering
+
+// Parsed form of tools/lint/layers.spec. The file is a sequence of
+//
+//   <layer>: <dep>[, <dep>...]        # e.g. "ml: core, runtime, simd, data"
+//   <layer>: *                        # may include anything (tools, tests)
+//   <layer>:                          # includes nothing but itself (core)
+//
+// declared bottom-up: every named dependency must already have been
+// declared, which makes the allowed-dependency relation acyclic by
+// construction. '#' starts a comment.
+struct LayerSpec {
+  std::vector<std::string> order;                   // declaration order
+  std::map<std::string, std::set<std::string>> allowed;  // "*" = anything
+};
+
+std::optional<LayerSpec> ParseLayerSpec(const std::string& text,
+                                        std::string* error);
+
+// Maps a repo-relative path to its layer: "src/<d>/..." -> "<d>"
+// (nested dirs collapse: src/serve/server/ -> "serve"), the src/eafe.h
+// umbrella -> "api", and tools/ tests/ bench/ examples/ -> their own
+// names. Unknown paths map to "".
+std::string LayerOf(const std::string& path);
+
+// Every internal edge must stay inside its layer or go to a layer the
+// spec allows. Findings carry rule `layering` and anchor at the
+// offending #include line. Unfiltered: `eafe-lint: allow(layering)`
+// escapes are applied by LintRepository, not here.
+std::vector<Finding> CheckLayering(const IncludeGraph& graph,
+                                   const LayerSpec& spec);
+
+// Cross-check between the spec and the layer diagram in
+// docs/ARCHITECTURE.md (the fenced block under "## Layers", whose
+// "<name>/" tokens name layers and whose ─── rules separate bands).
+// Fails when a layer exists in one place but not the other, or when the
+// spec allows a dependency that points *upward* across the diagram's
+// bands — the doc promises "dependencies point strictly downward", and
+// this keeps that promise mechanical.
+std::vector<Finding> CheckLayerSpecMatchesArchitectureDoc(
+    const LayerSpec& spec, const std::string& architecture_md);
+
+}  // namespace eafe::lint
+
+#endif  // EAFE_TOOLS_LINT_INCLUDE_GRAPH_H_

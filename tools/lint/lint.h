@@ -5,6 +5,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 // eafe_lint: project-invariant checker.
@@ -22,7 +23,14 @@
 // These rules enforce both mechanically on every commit (tools/check.sh
 // --suite lint, CI `lint` job). Each rule can be silenced on a single line
 // with `// eafe-lint: allow(<rule>)` — the escape is part of the diff and
-// shows up in review, unlike a silently-missing invariant.
+// shows up in review, unlike a silently-missing invariant — and the
+// unused-suppression rule deletes escapes that stop earning their keep.
+//
+// Beyond the token rules here, the include-graph engine
+// (tools/lint/include_graph.h) runs project-wide structural analysis:
+// include-cycle detection over the dependency DAG and the layering rule
+// driven by tools/lint/layers.spec, cross-checked against the normative
+// layer diagram in docs/ARCHITECTURE.md.
 
 namespace eafe::lint {
 
@@ -33,6 +41,9 @@ struct Finding {
   std::string message;  // pointed, actionable description
 
   std::string ToString() const;
+  // GitHub Actions workflow command ("::error file=...,line=...::...") so
+  // `eafe_lint --format=github` annotates PR diffs inline.
+  std::string ToGithub() const;
 };
 
 // Rule ids (also the tokens accepted by `eafe-lint: allow(...)`).
@@ -43,11 +54,42 @@ inline constexpr char kRuleCacheSignature[] = "cache-signature";
 inline constexpr char kRuleRawDeserialize[] = "raw-deserialize";
 inline constexpr char kRuleSimd[] = "simd";
 inline constexpr char kRuleServeSocket[] = "serve-socket";
+inline constexpr char kRuleIncludeCycle[] = "include-cycle";
+inline constexpr char kRuleLayering[] = "layering";
+inline constexpr char kRuleCondvarPredicate[] = "condvar-predicate";
+inline constexpr char kRuleNakedLock[] = "naked-lock";
+inline constexpr char kRuleMetricRegistry[] = "metric-registry";
+inline constexpr char kRuleUnusedSuppression[] = "unused-suppression";
+
+// Every rule id, in a stable order (drives --list-rules and the
+// unknown-rule check on `allow(...)` escapes).
+std::vector<std::string> AllRuleIds();
 
 // Replaces the bodies of //- and /* */-comments and string/char literals
 // with spaces, preserving newlines so byte offsets keep their line numbers.
 // Run before token matching so prose mentioning std::thread can't fire.
 std::string StripCommentsAndStrings(const std::string& source);
+
+// Comments-only variant: string and char literals survive. The include
+// graph parses on this (an include target *is* a string literal), and
+// the metric-registry rule reads name literals from it.
+std::string StripComments(const std::string& source);
+
+// String literals of `source` with their 1-based lines, comments ignored,
+// escape sequences left undecoded, raw-string bodies returned verbatim.
+struct StringLiteral {
+  std::string text;
+  size_t line = 0;
+};
+std::vector<StringLiteral> ExtractStringLiterals(const std::string& source);
+
+// One `// eafe-lint: allow(<rule>)` escape. Directives are parsed from
+// raw source, line by line; a line may carry several rules.
+struct AllowDirective {
+  size_t line = 0;
+  std::string rule;
+};
+std::vector<AllowDirective> ParseAllowDirectives(const std::string& source);
 
 // ---------------------------------------------------------------------------
 // Rule: determinism
@@ -109,6 +151,62 @@ std::vector<Finding> CheckServeSockets(const std::string& path,
                                        const std::string& source);
 
 // ---------------------------------------------------------------------------
+// Rule: condvar-predicate
+//
+// Every condition_variable wait in src/runtime/ and src/serve/server/
+// must use the predicate overload: `cv.wait(lock)` without a predicate
+// is the lost-wakeup / spurious-wakeup class TSan cannot see (the code
+// is data-race-free and still hangs). `cv.wait(lock, pred)` re-checks
+// the condition under the lock on every wakeup. wait_for/wait_until
+// follow the same rule. Zero-argument waits (std::future::wait) are a
+// different API and do not fire.
+std::vector<Finding> CheckCondvarPredicate(const std::string& path,
+                                           const std::string& source);
+
+// ---------------------------------------------------------------------------
+// Rule: naked-lock
+//
+// src/ outside src/runtime/ must not call bare `.lock()` / `.unlock()`:
+// an early return or exception between the pair leaks the mutex held
+// forever. RAII guards (std::lock_guard, std::unique_lock,
+// std::scoped_lock) unlock on every exit path; src/runtime/ is the one
+// audited home for manual lock juggling (its queue fast paths drop the
+// lock before notifying, under TSan coverage).
+std::vector<Finding> CheckNakedLocks(const std::string& path,
+                                     const std::string& source);
+
+// ---------------------------------------------------------------------------
+// Rule: metric-registry
+//
+// Every `eafe_*` metric-name literal in src/ must appear exactly once in
+// the registry header src/runtime/metric_names.h, and every registered
+// name must appear in README.md's metric-family docs. A metric that is
+// registered nowhere is invisible to operators reading the registry; a
+// registered name missing from README is docs drift; a registry entry no
+// code uses is stale. Names ending in '_' (or used as prefixes, e.g.
+// "eafe_pipeline") cover the whole runtime-completed family.
+//
+// `sources` maps repo-relative paths to content and must contain the
+// registry header (kMetricRegistryPath) and the scanned src/ files.
+// Findings are unfiltered; LintRepository applies allow() escapes.
+inline constexpr char kMetricRegistryPath[] = "src/runtime/metric_names.h";
+std::vector<Finding> CheckMetricRegistry(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const std::string& readme);
+
+// ---------------------------------------------------------------------------
+// Rule: unused-suppression
+//
+// Every `// eafe-lint: allow(<rule>)` escape must suppress something:
+// a directive whose (line, rule) matches none of the unfiltered findings
+// for its file is dead weight that silently blesses future violations on
+// that line. Directives naming unknown rules are flagged too.
+// `unsuppressed` is the full unfiltered finding set for `path`.
+std::vector<Finding> CheckUnusedSuppressions(
+    const std::string& path, const std::string& source,
+    const std::vector<Finding>& unsuppressed);
+
+// ---------------------------------------------------------------------------
 // Rule: test-labels
 //
 // Every eafe_add_test() in tests/CMakeLists.txt must carry at least one
@@ -154,10 +252,16 @@ std::vector<Finding> CheckCacheSignature(
     const std::string& eval_service_source);
 
 // ---------------------------------------------------------------------------
-// Driver: runs every rule over a repository checkout. Findings are sorted
-// by (file, line, rule) and deterministic. `error` receives a message and
-// returns nullopt findings if the tree is not lintable (missing anchor
-// files such as src/ml/evaluator.h).
+// Driver: runs every rule over a repository checkout — the per-file token
+// rules over src/, the include-graph rules (cycles, layering, spec/doc
+// cross-check) over src/ + tools/ + tests/ + bench/ + examples/, the
+// metric registry against src/runtime/metric_names.h + README.md, and
+// the test-label / cache-signature anchors. allow() escapes are applied
+// centrally here, and escapes that suppress nothing become
+// unused-suppression findings. Findings are sorted by (file, line, rule)
+// and deterministic. `error` receives a message and the result is
+// nullopt if the tree is not lintable (missing anchor files such as
+// src/ml/evaluator.h or tools/lint/layers.spec).
 std::optional<std::vector<Finding>> LintRepository(const std::string& root,
                                                    std::string* error);
 

@@ -7,8 +7,10 @@
 # Usage:
 #   tools/run_clang_tidy.sh [build-dir]     # default: <repo>/build
 #
-# Called by tools/check.sh --suite lint when clang-tidy is installed, and
-# by the CI `lint` job (which installs it).
+# Registered as the `eafe_clang_tidy` ctest (label `lint`) so the tidy
+# wall runs wherever the toolchain allows: exit 77 is ctest's
+# SKIP_RETURN_CODE, so machines without clang-tidy skip cleanly instead
+# of failing. The CI `lint` job installs clang-tidy and runs it for real.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -16,8 +18,9 @@ build="${1:-${root}/build}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
-  echo "clang-tidy not found; install it (e.g. apt-get install clang-tidy)" >&2
-  exit 2
+  echo "clang-tidy not found; skipping (install it, e.g. apt-get install" \
+       "clang-tidy, to run the tidy wall)" >&2
+  exit 77
 fi
 
 if [[ ! -f "${build}/compile_commands.json" ]]; then
